@@ -1,0 +1,23 @@
+//! Baseline self-test approaches the paper compares against.
+//!
+//! Two families:
+//!
+//! * [`lfsr`] — pseudorandom software-based self-test in the style of
+//!   Chen & Dey \[6\]: per-component *self-test signatures* (LFSR seed +
+//!   pattern count) are expanded **on-chip** by a software-emulated LFSR
+//!   into a memory buffer, then applied to the component by an
+//!   application routine. Structural in intent, pseudorandom in content —
+//!   the paper's Section 4 argues this trades much longer execution (and
+//!   more test data) for comparable or lower coverage.
+//! * [`random_instr`] — functional self-test with pseudorandom
+//!   instruction sequences in the style of \[2\]–\[4\], built on
+//!   `mips::gen`.
+//!
+//! Both produce programs that run through exactly the same fault-
+//! simulation flow as the deterministic methodology, so the cost/coverage
+//! comparison (EXPERIMENTS.md, comparison tables) is apples-to-apples.
+
+#![warn(missing_docs)]
+
+pub mod lfsr;
+pub mod random_instr;

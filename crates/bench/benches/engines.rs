@@ -1,0 +1,113 @@
+//! Engine microbenchmarks: the building blocks every experiment leans on
+//! (netlist construction, scalar simulation, 64-lane fault simulation,
+//! assembly, ISS execution, fault extraction/collapsing).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use fault::model::FaultList;
+use fault::sim::ParallelSim;
+use mips::asm::assemble;
+use mips::iss::{Iss, Memory};
+use plasma::testbench::GateCpu;
+use plasma::{PlasmaConfig, PlasmaCore};
+use sbst::phases::{build_program, Phase};
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("plasma_core_build", |b| {
+        b.iter(|| PlasmaCore::build(PlasmaConfig::default()))
+    });
+}
+
+fn bench_fault_extract(c: &mut Criterion) {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    c.bench_function("fault_extract_and_collapse", |b| {
+        b.iter(|| FaultList::extract(core.netlist()).collapsed(core.netlist()))
+    });
+}
+
+fn bench_scalar_sim(c: &mut Criterion) {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let p = assemble("loop: addiu $t0, $t0, 1\n b loop\n nop").unwrap();
+    let mut g = c.benchmark_group("scalar_gate_sim");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("1000_cycles", |b| {
+        b.iter_batched(
+            || {
+                let mut cpu = GateCpu::new(&core, 4096);
+                cpu.load_program(&p);
+                cpu
+            },
+            |mut cpu| cpu.run(1000),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_parallel_sim(c: &mut Criterion) {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let nl = core.netlist();
+    let faults = FaultList::extract(nl).collapsed(nl);
+    let p = build_program(Phase::A).unwrap();
+    let mut g = c.benchmark_group("parallel_fault_sim");
+    // 64 machines × 500 cycles per iteration.
+    g.throughput(Throughput::Elements(64 * 500));
+    g.bench_function("64lane_500_cycles", |b| {
+        use fault::campaign::Testbench;
+        use plasma::testbench::SelfTestBench;
+        let [early, late] = core.segments();
+        b.iter_batched(
+            || {
+                let mut sim = ParallelSim::with_segments(nl, &[early.to_vec(), late.to_vec()]);
+                for (k, &f) in faults.faults.iter().take(63).enumerate() {
+                    sim.inject(f, k + 1);
+                }
+                sim.reset();
+                let mut tb = SelfTestBench::new(&core, &p.program, 64 * 1024, 500);
+                tb.begin(&mut sim);
+                (sim, tb)
+            },
+            |(mut sim, mut tb)| {
+                for cyc in 0..500 {
+                    let _ = tb.step(&mut sim, cyc);
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let src = build_program(Phase::B).unwrap().source;
+    let mut g = c.benchmark_group("assembler");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("phase_ab_source", |b| b.iter(|| assemble(&src).unwrap()));
+    g.finish();
+}
+
+fn bench_iss(c: &mut Criterion) {
+    let p = build_program(Phase::B).unwrap();
+    let mut g = c.benchmark_group("iss");
+    g.throughput(Throughput::Elements(7000));
+    g.bench_function("phase_ab_run", |b| {
+        b.iter_batched(
+            || {
+                let mut mem = Memory::new(64 * 1024);
+                mem.load_program(&p.program);
+                (Iss::new(), mem)
+            },
+            |(mut cpu, mut mem)| cpu.run(&mut mem, 7000),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build, bench_fault_extract, bench_scalar_sim,
+              bench_parallel_sim, bench_assembler, bench_iss
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 4 regeneration cost: generating, assembling and golden-running
+//! each phase's self-test program. The printed phase statistics are the
+//! Table 4 rows; the measured times show the whole table regenerates in
+//! milliseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sbst::flow;
+use sbst::phases::{build_program, Phase};
+
+fn bench_table4(c: &mut Criterion) {
+    for phase in [Phase::A, Phase::B, Phase::C] {
+        // Print the row once so `cargo bench` output carries the data.
+        let st = build_program(phase).unwrap();
+        let cycles = flow::golden_cycles(&st);
+        println!(
+            "[table4] {}: {} words, {cycles} cycles",
+            phase.name(),
+            st.size_words()
+        );
+        c.bench_function(&format!("table4_{}", phase.name().replace(' ', "_")), |b| {
+            b.iter(|| {
+                let st = build_program(phase).unwrap();
+                flow::golden_cycles(&st)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table4
+}
+criterion_main!(benches);

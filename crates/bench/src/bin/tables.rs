@@ -1,0 +1,85 @@
+//! Command-line driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! tables --all                 # every experiment, sampled fault lists
+//! tables --all --full          # every experiment, complete fault lists
+//! tables --table 5             # just Table 5
+//! tables --all --json out.json # machine-readable dump as well
+//! ```
+
+use std::io::Write as _;
+
+use bench::RunOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = RunOptions::default();
+    let mut which: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => which = None,
+            "--table" => {
+                which = Some(it.next().expect("--table needs an id").clone());
+            }
+            "--full" => opts.sample = None,
+            "--sample" => {
+                opts.sample = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--sample needs a number"),
+                );
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--json" => json_out = Some(it.next().expect("--json needs a path").clone()),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: tables [--all | --table <id>] [--full | --sample N] [--seed N] [--json file]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match opts.sample {
+        Some(n) => eprintln!("[fault lists sampled to ~{n}; use --full for exact numbers]"),
+        None => eprintln!("[complete fault lists — this takes a few minutes]"),
+    }
+
+    let t0 = std::time::Instant::now();
+    let matches = |id: &str| -> bool {
+        match &which {
+            None => true,
+            Some(w) => {
+                let short = w.trim_start_matches("table").trim_start_matches("fig");
+                id == *w || id == format!("table{short}") || id == format!("fig{short}")
+            }
+        }
+    };
+    let selected = bench::run_selected(&opts, matches);
+    if selected.is_empty() {
+        eprintln!(
+            "no experiment matches; ids: {}",
+            bench::EXPERIMENT_IDS.join(" ")
+        );
+        std::process::exit(2);
+    }
+    for e in &selected {
+        println!("==== {} — {} ====", e.id, e.title);
+        println!("{}", e.text);
+    }
+    eprintln!("[done in {:?}]", t0.elapsed());
+
+    if let Some(path) = json_out {
+        let mut f = std::fs::File::create(&path).expect("create json file");
+        let v: Vec<_> = selected.iter().collect();
+        let s = serde_json::to_string_pretty(&v).expect("serialize");
+        f.write_all(s.as_bytes()).expect("write json");
+        eprintln!("[json written to {path}]");
+    }
+}

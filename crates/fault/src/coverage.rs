@@ -1,0 +1,159 @@
+//! Per-component coverage reporting — the machinery behind the paper's
+//! Table 5 ("fault coverage on Plasma/MIPS with successive phase test
+//! development").
+
+use netlist::Netlist;
+
+use crate::campaign::CampaignResult;
+
+/// One Table 5 row: a component's coverage and its *missed overall fault
+/// coverage* (MOFC) — the share of the whole processor's faults that
+/// remain undetected inside this component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentCoverage {
+    /// Component name.
+    pub name: String,
+    /// Weighted faults attributed to the component.
+    pub total: u64,
+    /// Weighted faults detected.
+    pub detected: u64,
+    /// Fault coverage within the component, percent.
+    pub coverage_pct: f64,
+    /// Percentage of the processor-wide fault universe missed in this
+    /// component (the paper's MOFC column).
+    pub mofc_pct: f64,
+}
+
+/// Full coverage report: per-component rows plus the overall line.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// Rows in netlist component order.
+    pub components: Vec<ComponentCoverage>,
+    /// Overall weighted coverage, percent.
+    pub overall_pct: f64,
+    /// Total weighted faults.
+    pub total_faults: u64,
+    /// Total weighted detected faults.
+    pub total_detected: u64,
+}
+
+impl CoverageReport {
+    /// Build the report from a campaign result.
+    pub fn from_campaign(netlist: &Netlist, result: &CampaignResult) -> CoverageReport {
+        let n = netlist.component_names().len();
+        let mut total = vec![0u64; n];
+        let mut detected = vec![0u64; n];
+        for i in 0..result.faults.len() {
+            let c = result.faults.component[i].index();
+            let w = result.faults.weight[i] as u64;
+            total[c] += w;
+            if result.detections[i].is_detected() {
+                detected[c] += w;
+            }
+        }
+        let grand_total: u64 = total.iter().sum();
+        let grand_detected: u64 = detected.iter().sum();
+        let components = (0..n)
+            .map(|c| {
+                let cov = if total[c] == 0 {
+                    100.0
+                } else {
+                    100.0 * detected[c] as f64 / total[c] as f64
+                };
+                let mofc = if grand_total == 0 {
+                    0.0
+                } else {
+                    100.0 * (total[c] - detected[c]) as f64 / grand_total as f64
+                };
+                ComponentCoverage {
+                    name: netlist.component_names()[c].clone(),
+                    total: total[c],
+                    detected: detected[c],
+                    coverage_pct: cov,
+                    mofc_pct: mofc,
+                }
+            })
+            .collect();
+        CoverageReport {
+            components,
+            overall_pct: if grand_total == 0 {
+                100.0
+            } else {
+                100.0 * grand_detected as f64 / grand_total as f64
+            },
+            total_faults: grand_total,
+            total_detected: grand_detected,
+        }
+    }
+
+    /// Row for a named component, if present.
+    pub fn component(&self, name: &str) -> Option<&ComponentCoverage> {
+        self.components.iter().find(|c| c.name == name)
+    }
+
+    /// Render as an aligned text table (component, FC%, MOFC%).
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<18} {:>8} {:>9} {:>8} {:>8}\n",
+            "Component", "Faults", "Detected", "FC %", "MOFC %"
+        ));
+        for c in &self.components {
+            s.push_str(&format!(
+                "{:<18} {:>8} {:>9} {:>8.2} {:>8.2}\n",
+                c.name, c.total, c.detected, c.coverage_pct, c.mofc_pct
+            ));
+        }
+        s.push_str(&format!(
+            "{:<18} {:>8} {:>9} {:>8.2} {:>8.2}\n",
+            "TOTAL",
+            self.total_faults,
+            self.total_detected,
+            self.overall_pct,
+            100.0 - self.overall_pct
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_vectors;
+    use crate::model::FaultList;
+    use netlist::NetlistBuilder;
+
+    #[test]
+    fn report_attributes_by_component() {
+        let mut b = NetlistBuilder::new("two");
+        let a = b.inputs("a", 4);
+        let c = b.inputs("b", 4);
+        b.begin_component("xorpart");
+        let x = b.xor_word(&a, &c);
+        b.end_component();
+        b.begin_component("deadpart");
+        // An AND chain whose output is unobservable (not a port):
+        let dead = b.and_word(&a, &c);
+        let _sink = b.and_tree(&dead);
+        b.end_component();
+        b.outputs("x", &x);
+        let nl = b.finish().unwrap();
+        let faults = FaultList::extract(&nl).collapsed(&nl);
+        let vectors: Vec<Vec<(&str, u64)>> = (0..256u64)
+            .map(|v| vec![("a", v & 0xF), ("b", (v >> 4) & 0xF)])
+            .collect();
+        let res = run_vectors(&nl, &faults, &vectors);
+        let report = CoverageReport::from_campaign(&nl, &res);
+        let xor = report.component("xorpart").unwrap();
+        let dead = report.component("deadpart").unwrap();
+        assert!(xor.coverage_pct > 99.0, "xor {}", xor.coverage_pct);
+        assert_eq!(dead.detected, 0, "dead logic must stay undetected");
+        assert!(dead.mofc_pct > 0.0);
+        // MOFC percentages plus overall coverage must account for all
+        // faults.
+        let mofc_sum: f64 = report.components.iter().map(|c| c.mofc_pct).sum();
+        assert!((mofc_sum - (100.0 - report.overall_pct)).abs() < 1e-9);
+        let table = report.to_table();
+        assert!(table.contains("xorpart") && table.contains("TOTAL"));
+    }
+}

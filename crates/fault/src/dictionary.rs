@@ -1,0 +1,112 @@
+//! Fault dictionaries and diagnosis.
+//!
+//! A campaign already computes, for every fault, *when* it is first
+//! detected. Recording a little more — which observation cycle each fault
+//! first fails at — yields a classic pass/fail fault dictionary: given
+//! the cycle at which a physical device first diverged from the golden
+//! trace, return the candidate faults. This is the diagnosis counterpart
+//! the SBST literature builds on top of exactly this kind of campaign.
+
+use std::collections::BTreeMap;
+
+use crate::campaign::{CampaignResult, Detection};
+use crate::model::Fault;
+
+/// A first-failure dictionary: detection cycle → faults first caught
+/// there.
+#[derive(Debug, Clone)]
+pub struct FaultDictionary {
+    by_cycle: BTreeMap<u64, Vec<Fault>>,
+    undetected: Vec<Fault>,
+}
+
+impl FaultDictionary {
+    /// Build the dictionary from a campaign result.
+    pub fn from_campaign(result: &CampaignResult) -> FaultDictionary {
+        let mut by_cycle: BTreeMap<u64, Vec<Fault>> = BTreeMap::new();
+        let mut undetected = Vec::new();
+        for (i, det) in result.detections.iter().enumerate() {
+            match det {
+                Detection::DetectedAt(c) => {
+                    by_cycle.entry(*c).or_default().push(result.faults.faults[i])
+                }
+                Detection::Undetected => undetected.push(result.faults.faults[i]),
+            }
+        }
+        FaultDictionary {
+            by_cycle,
+            undetected,
+        }
+    }
+
+    /// Candidate faults for a device whose first observed divergence was
+    /// at `cycle`. An empty slice means no modelled fault matches.
+    pub fn candidates(&self, cycle: u64) -> &[Fault] {
+        self.by_cycle
+            .get(&cycle)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Faults the test never detects (escape candidates).
+    pub fn undetected(&self) -> &[Fault] {
+        &self.undetected
+    }
+
+    /// Number of distinct first-failure cycles (dictionary resolution:
+    /// more syndromes = finer diagnosis).
+    pub fn syndromes(&self) -> usize {
+        self.by_cycle.len()
+    }
+
+    /// Diagnostic resolution: the mean number of candidate faults per
+    /// syndrome — 1.0 would be perfect single-fault diagnosis.
+    pub fn mean_ambiguity(&self) -> f64 {
+        if self.by_cycle.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.by_cycle.values().map(|v| v.len()).sum();
+        total as f64 / self.by_cycle.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_vectors;
+    use crate::model::FaultList;
+    use netlist::NetlistBuilder;
+
+    #[test]
+    fn dictionary_partitions_faults() {
+        // A shift register: faults nearer the output are seen earlier,
+        // giving multiple distinct syndromes.
+        let mut b = NetlistBuilder::new("sr");
+        let d = b.input("d");
+        b.begin_component("sr");
+        let q1 = b.dff(d, false);
+        let q2 = b.dff(q1, false);
+        let q3 = b.dff(q2, false);
+        b.end_component();
+        b.output("q", q3);
+        let nl = b.finish().unwrap();
+        let faults = FaultList::extract(&nl).collapsed(&nl);
+        let vectors: Vec<Vec<(&str, u64)>> =
+            (0..12).map(|k| vec![("d", (k & 1) as u64)]).collect();
+        let result = run_vectors(&nl, &faults, &vectors);
+        let dict = FaultDictionary::from_campaign(&result);
+        assert!(dict.syndromes() >= 2, "expect staged detection");
+        // Every detected fault appears in exactly one syndrome bucket.
+        let listed: usize = (0..vectors.len() as u64)
+            .map(|c| dict.candidates(c).len())
+            .sum();
+        let detected = result.detections.iter().filter(|d| d.is_detected()).count();
+        assert_eq!(listed, detected);
+        assert_eq!(
+            dict.undetected().len() + detected,
+            faults.len(),
+            "partition covers the whole list"
+        );
+        assert!(dict.mean_ambiguity() >= 1.0);
+    }
+}

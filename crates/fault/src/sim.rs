@@ -1,0 +1,526 @@
+//! 64-lane bit-parallel logic simulation with stuck-at fault injection.
+//!
+//! Every net holds a `u64`; bit *L* of that word is the value of the net in
+//! machine (lane) *L*. All 64 machines share the same netlist but each can
+//! carry its own injected faults, so one sweep over the gates simulates 64
+//! processors at once — the classic parallel-fault technique. Lane 0 is by
+//! convention the fault-free reference machine.
+//!
+//! Faults are injected *branchlessly* for net stems (per-net OR/AND masks
+//! applied on every value store) and via a rare-path patch table for gate
+//! input pins (fanout branches), which at most 63 gates per batch can have.
+
+use std::collections::HashMap;
+
+use netlist::{GateKind, Net, Netlist, NO_NET};
+
+use crate::model::{Fault, FaultSite, Polarity};
+
+/// Lanes-word with all 64 bits set.
+pub const ALL_LANES: u64 = !0;
+
+#[derive(Debug, Clone, Copy)]
+struct PinPatch {
+    set1: [u64; 3],
+    keep0: [u64; 3],
+}
+
+impl PinPatch {
+    fn identity() -> Self {
+        PinPatch {
+            set1: [0; 3],
+            keep0: [ALL_LANES; 3],
+        }
+    }
+}
+
+/// The bit-parallel simulator. See the module docs.
+///
+/// Evaluation is split into *segments* (topologically ordered gate groups)
+/// so a CPU testbench can evaluate the logic that produces the memory
+/// address first, fetch per-lane read data from its memory model, then
+/// evaluate the read-data cone — all within one cycle.
+#[derive(Debug, Clone)]
+pub struct ParallelSim {
+    /// Per-net lane values, plus one trailing dummy slot (always 0) that
+    /// unused gate-input slots point at.
+    vals: Vec<u64>,
+    /// Per-net stuck-at-1 injection masks (OR-ed into every store).
+    set1: Vec<u64>,
+    /// Per-net keep masks = NOT stuck-at-0 (AND-ed into every store).
+    keep0: Vec<u64>,
+    // Compiled gates, concatenated segment by segment.
+    kinds: Vec<GateKind>,
+    in0: Vec<u32>,
+    in1: Vec<u32>,
+    in2: Vec<u32>,
+    outs: Vec<u32>,
+    /// (start, end) of each segment in the compiled arrays.
+    segment_bounds: Vec<(usize, usize)>,
+    /// Compiled position of each original gate index.
+    pos_of_gate: Vec<u32>,
+    /// Pin patches at compiled positions (rare path).
+    has_patch: Vec<bool>,
+    pin_patches: HashMap<u32, PinPatch>,
+    /// D-pin patches per flip-flop index.
+    dff_patches: HashMap<u32, (u64, u64)>,
+    /// DFF d/q nets and reset masks, copied out for the clock sweep.
+    dff_d: Vec<u32>,
+    dff_q: Vec<u32>,
+    dff_reset: Vec<u64>,
+    next: Vec<u64>,
+}
+
+impl ParallelSim {
+    /// Build a simulator evaluating the whole netlist as one segment.
+    pub fn new(netlist: &Netlist) -> Self {
+        Self::with_segments(netlist, &[netlist.topo_order().to_vec()])
+    }
+
+    /// Build a simulator with an explicit segment decomposition. The
+    /// concatenation of `segments` must contain every gate exactly once,
+    /// each segment in valid topological order (e.g. the two halves of
+    /// [`Netlist::split_on_inputs`]).
+    pub fn with_segments(netlist: &Netlist, segments: &[Vec<u32>]) -> Self {
+        let n_gates = netlist.gates().len();
+        let total: usize = segments.iter().map(|s| s.len()).sum();
+        assert_eq!(total, n_gates, "segments must cover every gate");
+        let dummy = netlist.num_nets() as u32;
+        let mut kinds = Vec::with_capacity(n_gates);
+        let mut in0 = Vec::with_capacity(n_gates);
+        let mut in1 = Vec::with_capacity(n_gates);
+        let mut in2 = Vec::with_capacity(n_gates);
+        let mut outs = Vec::with_capacity(n_gates);
+        let mut pos_of_gate = vec![u32::MAX; n_gates];
+        let mut segment_bounds = Vec::with_capacity(segments.len());
+        let remap = |n: Net| -> u32 {
+            if n == NO_NET {
+                dummy
+            } else {
+                n.index() as u32
+            }
+        };
+        for seg in segments {
+            let start = kinds.len();
+            for &gi in seg {
+                let g = &netlist.gates()[gi as usize];
+                assert_eq!(
+                    pos_of_gate[gi as usize],
+                    u32::MAX,
+                    "gate {gi} appears in two segments"
+                );
+                pos_of_gate[gi as usize] = kinds.len() as u32;
+                kinds.push(g.kind);
+                in0.push(remap(g.inputs[0]));
+                in1.push(remap(g.inputs[1]));
+                in2.push(remap(g.inputs[2]));
+                outs.push(g.output.index() as u32);
+            }
+            segment_bounds.push((start, kinds.len()));
+        }
+        let n_slots = netlist.num_nets() + 1;
+        let dffs = netlist.dffs();
+        ParallelSim {
+            vals: vec![0; n_slots],
+            set1: vec![0; n_slots],
+            keep0: vec![ALL_LANES; n_slots],
+            kinds,
+            in0,
+            in1,
+            in2,
+            outs,
+            segment_bounds,
+            pos_of_gate,
+            has_patch: vec![false; n_gates],
+            pin_patches: HashMap::new(),
+            dff_patches: HashMap::new(),
+            dff_d: dffs.iter().map(|f| f.d.index() as u32).collect(),
+            dff_q: dffs.iter().map(|f| f.q.index() as u32).collect(),
+            dff_reset: dffs
+                .iter()
+                .map(|f| if f.reset_value { ALL_LANES } else { 0 })
+                .collect(),
+            next: vec![0; dffs.len()],
+        }
+    }
+
+    /// Number of evaluation segments.
+    pub fn num_segments(&self) -> usize {
+        self.segment_bounds.len()
+    }
+
+    /// Remove all injected faults (lane masks return to identity).
+    pub fn clear_faults(&mut self) {
+        for m in &mut self.set1 {
+            *m = 0;
+        }
+        for m in &mut self.keep0 {
+            *m = ALL_LANES;
+        }
+        self.pin_patches.clear();
+        for f in &mut self.has_patch {
+            *f = false;
+        }
+        self.dff_patches.clear();
+    }
+
+    /// Inject `fault` into lane `lane` (0..64). Injecting into lane 0
+    /// is allowed but forfeits the fault-free reference.
+    pub fn inject(&mut self, fault: Fault, lane: usize) {
+        assert!(lane < 64, "lane out of range");
+        let bit = 1u64 << lane;
+        match fault.site {
+            FaultSite::Stem(n) => {
+                let i = n.index();
+                match fault.polarity {
+                    Polarity::StuckAt1 => self.set1[i] |= bit,
+                    Polarity::StuckAt0 => self.keep0[i] &= !bit,
+                }
+                // Stems are applied on store; make the current value
+                // consistent immediately.
+                self.vals[i] = (self.vals[i] | self.set1[i]) & self.keep0[i];
+            }
+            FaultSite::Pin { gate, pin } => {
+                let pos = self.pos_of_gate[gate as usize];
+                let patch = self
+                    .pin_patches
+                    .entry(pos)
+                    .or_insert_with(PinPatch::identity);
+                match fault.polarity {
+                    Polarity::StuckAt1 => patch.set1[pin as usize] |= bit,
+                    Polarity::StuckAt0 => patch.keep0[pin as usize] &= !bit,
+                }
+                self.has_patch[pos as usize] = true;
+            }
+            FaultSite::DffD(ff) => {
+                let p = self.dff_patches.entry(ff).or_insert((0, ALL_LANES));
+                match fault.polarity {
+                    Polarity::StuckAt1 => p.0 |= bit,
+                    Polarity::StuckAt0 => p.1 &= !bit,
+                }
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn store(&mut self, net: usize, v: u64) {
+        self.vals[net] = (v | self.set1[net]) & self.keep0[net];
+    }
+
+    /// Apply reset values to every flip-flop output (external synchronous
+    /// reset, all lanes).
+    pub fn reset(&mut self) {
+        for i in 0..self.dff_q.len() {
+            let q = self.dff_q[i] as usize;
+            let rv = self.dff_reset[i];
+            self.store(q, rv);
+        }
+    }
+
+    /// Drive a named input port with the same integer value on all lanes.
+    pub fn set_port(&mut self, netlist: &Netlist, port: &str, value: u64) {
+        for (i, &net) in netlist.port(port).iter().enumerate() {
+            let bit = (value >> i) & 1;
+            self.store(net.index(), 0u64.wrapping_sub(bit));
+        }
+    }
+
+    /// Drive a named input port with per-bit lane words: `bits[i]` holds
+    /// bit *i* of the port for all 64 lanes.
+    pub fn set_port_bits(&mut self, netlist: &Netlist, port: &str, bits: &[u64]) {
+        let nets = netlist.port(port);
+        assert_eq!(nets.len(), bits.len(), "port width mismatch");
+        for (&net, &w) in nets.iter().zip(bits) {
+            self.store(net.index(), w);
+        }
+    }
+
+    /// Evaluate one segment (in order). Segment indices follow the
+    /// construction order in [`Self::with_segments`].
+    pub fn eval_segment(&mut self, segment: usize) {
+        let (start, end) = self.segment_bounds[segment];
+        for i in start..end {
+            let mut a = self.vals[self.in0[i] as usize];
+            let mut b = self.vals[self.in1[i] as usize];
+            let mut c = self.vals[self.in2[i] as usize];
+            if self.has_patch[i] {
+                let p = &self.pin_patches[&(i as u32)];
+                a = (a | p.set1[0]) & p.keep0[0];
+                b = (b | p.set1[1]) & p.keep0[1];
+                c = (c | p.set1[2]) & p.keep0[2];
+            }
+            let v = self.kinds[i].eval_u64(a, b, c);
+            let o = self.outs[i] as usize;
+            self.vals[o] = (v | self.set1[o]) & self.keep0[o];
+        }
+    }
+
+    /// Evaluate all segments in order.
+    pub fn eval_all(&mut self) {
+        for s in 0..self.segment_bounds.len() {
+            self.eval_segment(s);
+        }
+    }
+
+    /// Clock every flip-flop (`q <= d`), honouring D-pin patches and Q
+    /// stem injection.
+    pub fn clock(&mut self) {
+        for i in 0..self.dff_d.len() {
+            self.next[i] = self.vals[self.dff_d[i] as usize];
+        }
+        for (&ff, &(s1, k0)) in &self.dff_patches {
+            let v = &mut self.next[ff as usize];
+            *v = (*v | s1) & k0;
+        }
+        for i in 0..self.dff_q.len() {
+            let q = self.dff_q[i] as usize;
+            let v = self.next[i];
+            self.vals[q] = (v | self.set1[q]) & self.keep0[q];
+        }
+    }
+
+    /// Raw lane word of a single net.
+    #[inline]
+    pub fn net_lanes(&self, net: Net) -> u64 {
+        self.vals[net.index()]
+    }
+
+    /// Gather the value of a bus in one lane as an integer (LSB first).
+    pub fn lane_word(&self, nets: &[Net], lane: usize) -> u64 {
+        let mut v = 0u64;
+        for (i, &n) in nets.iter().enumerate() {
+            v |= ((self.vals[n.index()] >> lane) & 1) << i;
+        }
+        v
+    }
+
+    /// Mask of lanes whose value on any of `nets` differs from lane 0.
+    pub fn diff_vs_lane0(&self, nets: &[Net]) -> u64 {
+        let mut acc = 0u64;
+        for &n in nets {
+            let v = self.vals[n.index()];
+            acc |= v ^ 0u64.wrapping_sub(v & 1);
+        }
+        acc
+    }
+
+    /// Lane word of a named port in one lane, as an integer.
+    pub fn port_lane_word(&self, netlist: &Netlist, port: &str, lane: usize) -> u64 {
+        self.lane_word(netlist.port(port), lane)
+    }
+}
+
+/// Transpose per-lane integer values into per-bit lane words:
+/// `out[i]` bit *L* = bit *i* of `values[L]`. `values.len()` must be 64.
+pub fn transpose_lanes(values: &[u64], width: usize, out: &mut Vec<u64>) {
+    assert_eq!(values.len(), 64);
+    out.clear();
+    out.resize(width, 0);
+    for (lane, &v) in values.iter().enumerate() {
+        let mut rem = v & mask_width(width);
+        while rem != 0 {
+            let i = rem.trailing_zeros() as usize;
+            out[i] |= 1u64 << lane;
+            rem &= rem - 1;
+        }
+    }
+}
+
+fn mask_width(width: usize) -> u64 {
+    if width >= 64 {
+        !0
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FaultList;
+    use netlist::sim::Simulator;
+    use netlist::NetlistBuilder;
+
+    fn sample_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("s");
+        let a = b.inputs("a", 8);
+        let c = b.inputs("b", 8);
+        let x = b.xor_word(&a, &c);
+        let y = b.and_word(&x, &a);
+        let q = b.dff_word(&y, 0);
+        let z = b.or_word(&q, &c);
+        b.outputs("z", &z);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn lane0_matches_scalar_simulator() {
+        let nl = sample_netlist();
+        let mut ps = ParallelSim::new(&nl);
+        let mut ss = Simulator::new(&nl);
+        ps.reset();
+        ss.reset(&nl);
+        let mut st = 0x1234_5678_9ABC_DEFu64;
+        for _ in 0..50 {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let av = (st >> 16) & 0xFF;
+            let bv = (st >> 32) & 0xFF;
+            ps.set_port(&nl, "a", av);
+            ps.set_port(&nl, "b", bv);
+            ss.set_input_word(&nl, "a", av);
+            ss.set_input_word(&nl, "b", bv);
+            ps.eval_all();
+            ss.eval(&nl);
+            assert_eq!(
+                ps.port_lane_word(&nl, "z", 0),
+                ss.output_word(&nl, "z"),
+                "combinational mismatch"
+            );
+            ps.clock();
+            ss.clock(&nl);
+        }
+    }
+
+    #[test]
+    fn injected_fault_only_affects_its_lane() {
+        let nl = sample_netlist();
+        let faults = FaultList::extract(&nl);
+        let mut ps = ParallelSim::new(&nl);
+        // Inject a handful of distinct faults into distinct lanes.
+        for (lane, i) in (1..8).zip((0..faults.len()).step_by(7)) {
+            ps.inject(faults.faults[i], lane);
+        }
+        ps.reset();
+        let mut divergence_seen = 0u64;
+        let mut st = 7u64;
+        for _ in 0..100 {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(13);
+            ps.set_port(&nl, "a", (st >> 8) & 0xFF);
+            ps.set_port(&nl, "b", (st >> 24) & 0xFF);
+            ps.eval_all();
+            divergence_seen |= ps.diff_vs_lane0(nl.port("z"));
+            ps.clock();
+        }
+        // Only the lanes with injected faults may diverge; lanes 8..64
+        // must track lane 0 exactly.
+        assert_eq!(divergence_seen & !0xFF, 0, "clean lanes diverged");
+        assert_ne!(divergence_seen & 0xFE, 0, "no injected fault was seen");
+    }
+
+    #[test]
+    fn stem_sa1_forces_value() {
+        let mut b = NetlistBuilder::new("f");
+        let a = b.input("a");
+        let y = b.buf(a);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let mut ps = ParallelSim::new(&nl);
+        let ynet = nl.port("y")[0];
+        ps.inject(
+            Fault {
+                site: FaultSite::Stem(ynet),
+                polarity: Polarity::StuckAt1,
+            },
+            3,
+        );
+        ps.set_port(&nl, "a", 0);
+        ps.eval_all();
+        assert_eq!(ps.net_lanes(ynet), 1 << 3);
+        ps.set_port(&nl, "a", 1);
+        ps.eval_all();
+        assert_eq!(ps.net_lanes(ynet), ALL_LANES);
+    }
+
+    #[test]
+    fn pin_fault_affects_only_that_branch() {
+        // a fans out to two ANDs; a pin fault on one branch must leave the
+        // other branch healthy.
+        let mut b = NetlistBuilder::new("p");
+        let a = b.input("a");
+        let one = b.one();
+        let y1 = b.and2(a, one);
+        let y2 = b.and2(a, one);
+        b.output("y1", y1);
+        b.output("y2", y2);
+        let nl = b.finish().unwrap();
+        // Find the gate index of the first AND.
+        let g1 = nl
+            .gates()
+            .iter()
+            .position(|g| g.kind == GateKind::And2)
+            .unwrap() as u32;
+        let mut ps = ParallelSim::new(&nl);
+        ps.inject(
+            Fault {
+                site: FaultSite::Pin { gate: g1, pin: 0 },
+                polarity: Polarity::StuckAt0,
+            },
+            5,
+        );
+        ps.set_port(&nl, "a", 1);
+        ps.eval_all();
+        let y1v = ps.net_lanes(nl.port("y1")[0]);
+        let y2v = ps.net_lanes(nl.port("y2")[0]);
+        assert_eq!(y1v, ALL_LANES & !(1 << 5), "faulty branch");
+        assert_eq!(y2v, ALL_LANES, "healthy branch");
+    }
+
+    #[test]
+    fn dff_d_pin_fault_sticks_state() {
+        let mut b = NetlistBuilder::new("d");
+        let a = b.input("a");
+        let q = b.dff(a, false);
+        b.output("q", q);
+        let nl = b.finish().unwrap();
+        let mut ps = ParallelSim::new(&nl);
+        ps.inject(
+            Fault {
+                site: FaultSite::DffD(0),
+                polarity: Polarity::StuckAt1,
+            },
+            2,
+        );
+        ps.reset();
+        ps.set_port(&nl, "a", 0);
+        ps.eval_all();
+        ps.clock();
+        // q: lane 2 stuck at 1 after the clock, others 0.
+        assert_eq!(ps.net_lanes(nl.port("q")[0]), 1 << 2);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut values = [0u64; 64];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        let mut bits = Vec::new();
+        transpose_lanes(&values, 32, &mut bits);
+        for lane in 0..64 {
+            let mut got = 0u64;
+            for (i, &w) in bits.iter().enumerate() {
+                got |= ((w >> lane) & 1) << i;
+            }
+            assert_eq!(got, values[lane] & 0xFFFF_FFFF);
+        }
+    }
+
+    #[test]
+    fn clear_faults_restores_health() {
+        let nl = sample_netlist();
+        let faults = FaultList::extract(&nl);
+        let mut ps = ParallelSim::new(&nl);
+        for (lane, f) in faults.faults.iter().take(60).enumerate() {
+            ps.inject(*f, lane % 64);
+        }
+        ps.clear_faults();
+        ps.reset();
+        for step in 0..20u64 {
+            ps.set_port(&nl, "a", step * 11 % 256);
+            ps.set_port(&nl, "b", step * 29 % 256);
+            ps.eval_all();
+            assert_eq!(ps.diff_vs_lane0(nl.port("z")), 0);
+            ps.clock();
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! MIPS I instruction-set substrate: encoding, assembly, disassembly and a
+//! cycle-accurate golden-reference simulator.
+//!
+//! The paper's processor is the Plasma/MIPS core: "all MIPS I user mode
+//! instructions except unaligned load and store operations ... and
+//! exceptions", with a 3-stage pipeline. This crate provides everything
+//! the self-test flow needs around that ISA:
+//!
+//! * [`isa`]: the instruction enum, binary encode/decode, register names;
+//! * [`asm`]: a two-pass assembler (labels, directives, the pseudo-ops
+//!   `li`/`la`/`move`/`nop`/`b`/`beqz`/`bnez`) producing a loadable
+//!   [`Program`];
+//! * [`disasm`]: textual disassembly;
+//! * [`iss`]: the cycle-accurate instruction-set simulator that emits, for
+//!   every clock cycle, the bus transaction the pipeline performs — the
+//!   golden trace the fault simulator compares faulty machines against.
+//!
+//! # The microarchitectural contract
+//!
+//! The gate-level core (crate `plasma`) and the ISS here implement the
+//! same Plasma-class 3-stage pipeline, specified as follows. This is the
+//! single source of truth; the lock-step co-simulation test in
+//! `tests/cosim.rs` enforces it.
+//!
+//! * **Stages**: fetch (F), decode/execute (EX), and a memory/write-back
+//!   slot. The architectural state is `PC` (next fetch address), `IR`/`EPC`
+//!   (instruction in EX and its address), a one-entry memory-stage register
+//!   set, the register file, `HI`/`LO`, and a 2-state bus FSM `F`/`M`.
+//! * **State F** (fetch/execute): the shared bus port fetches at `PC`; EX
+//!   executes `IR`. ALU-class results write the register file at the end
+//!   of the cycle. A load/store computes its address/stored data into the
+//!   memory-stage registers and moves the FSM to `M`. Taken branches load
+//!   `PC` with the target (giving exactly one delay slot); otherwise
+//!   `PC += 4`. `IR <= fetched word`, `EPC <= PC`.
+//! * **State M** (data access): the bus port performs the load/store
+//!   prepared in the memory-stage registers; a load's aligned/extended
+//!   result writes the register file at the end of the cycle. `PC`, `IR`,
+//!   `EPC` hold; EX is suppressed. The FSM returns to `F`.
+//! * **Stall**: `mfhi`/`mflo` while the multiply/divide unit is busy holds
+//!   `PC`/`IR`/`EPC` and suppresses all EX side effects; the fetch repeats.
+//! * **Multiply/divide**: issue takes one EX cycle and starts a 32-step
+//!   sequential unit (shift-add multiply, restoring divide on magnitudes
+//!   with sign fix-up); `busy` counts down once per clock in any state.
+//!   Results are architecturally visible only through `HI`/`LO`.
+//! * **Branch delay slot**: one, always executed (MIPS I semantics).
+//! * **Arithmetic overflow**: `add`/`addi`/`sub` behave as their unsigned
+//!   counterparts — the Plasma core implements no exceptions, and the
+//!   paper excludes them.
+//! * **Endianness**: little-endian byte lanes (`be[0]` = bits 7:0 at byte
+//!   offset 0). The original Plasma is big-endian; the choice does not
+//!   affect the methodology and is documented as a substitution in
+//!   DESIGN.md.
+//! * **Reset**: `PC = 0`, `IR = nop`, FSM = `F`, register file all zero.
+//!
+//! # Example
+//!
+//! ```
+//! use mips::asm::assemble;
+//! use mips::iss::{Iss, Memory};
+//!
+//! let program = assemble(r#"
+//!         li   $t0, 6
+//!         li   $t1, 7
+//!         mult $t0, $t1
+//!         mflo $t2          # stalls until the multiplier finishes
+//!         sw   $t2, 0x100($zero)
+//! stop:   b stop
+//!         nop
+//! "#).unwrap();
+//!
+//! let mut mem = Memory::new(64 * 1024);
+//! mem.load_program(&program);
+//! let mut cpu = Iss::new();
+//! let trace = cpu.run(&mut mem, 200);
+//! assert_eq!(mem.read_word(0x100), 42);
+//! // The trace records every bus cycle, including the mflo stall refetches.
+//! assert!(trace.len() == 200);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod disasm;
+pub mod gen;
+pub mod isa;
+pub mod iss;
+
+pub use asm::{assemble, AsmError, Program};
+pub use isa::{Instr, Reg};
+pub use iss::{BusCycle, Iss, Memory};

@@ -1,0 +1,78 @@
+//! Graphviz DOT export for small netlists (debugging and documentation).
+
+use std::fmt::Write as _;
+
+use crate::netlist::{Netlist, PortDir};
+
+/// Render the netlist as a Graphviz `digraph`.
+///
+/// Gates become boxes labelled with their kind, flip-flops become
+/// double-octagons, ports become ellipses. Intended for small netlists;
+/// the Plasma core would produce an unreadable graph.
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(s, "  rankdir=LR;");
+    for (name, dir, nets) in netlist.ports() {
+        let shape = match dir {
+            PortDir::Input => "ellipse",
+            PortDir::Output => "doublecircle",
+        };
+        let _ = writeln!(s, "  \"port_{name}\" [shape={shape},label=\"{name}\"];");
+        for (i, &n) in nets.iter().enumerate() {
+            match dir {
+                PortDir::Input => {
+                    let _ = writeln!(s, "  \"port_{name}\" -> \"net_{}\" [label=\"{i}\"];", n.index());
+                }
+                PortDir::Output => {
+                    let _ = writeln!(s, "  \"net_{}\" -> \"port_{name}\" [label=\"{i}\"];", n.index());
+                }
+            }
+        }
+    }
+    for (gi, g) in netlist.gates().iter().enumerate() {
+        let comp = &netlist.component_names()[netlist.gate_component(gi).index()];
+        let _ = writeln!(
+            s,
+            "  \"g{gi}\" [shape=box,label=\"{:?}\\n{comp}\"];",
+            g.kind
+        );
+        for (pin, n) in g.used_inputs().enumerate() {
+            let _ = writeln!(s, "  \"net_{}\" -> \"g{gi}\" [label=\"{pin}\"];", n.index());
+        }
+        let _ = writeln!(s, "  \"g{gi}\" -> \"net_{}\";", g.output.index());
+    }
+    for (fi, ff) in netlist.dffs().iter().enumerate() {
+        let _ = writeln!(s, "  \"ff{fi}\" [shape=doubleoctagon,label=\"DFF\"];");
+        let _ = writeln!(s, "  \"net_{}\" -> \"ff{fi}\" [label=\"d\"];", ff.d.index());
+        let _ = writeln!(s, "  \"ff{fi}\" -> \"net_{}\" [label=\"q\"];", ff.q.index());
+    }
+    // Net points are implicit: declare them as small dots.
+    for i in 0..netlist.num_nets() {
+        let _ = writeln!(s, "  \"net_{i}\" [shape=point];");
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn dot_output_mentions_everything() {
+        let mut b = NetlistBuilder::new("d");
+        let a = b.input("a");
+        let x = b.not(a);
+        let q = b.dff(x, false);
+        b.output("q", q);
+        let nl = b.finish().unwrap();
+        let dot = to_dot(&nl);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("port_a"));
+        assert!(dot.contains("port_q"));
+        assert!(dot.contains("Not"));
+        assert!(dot.contains("DFF"));
+    }
+}

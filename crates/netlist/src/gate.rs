@@ -1,0 +1,263 @@
+//! Gate primitives and their NAND2-equivalent costs.
+
+use crate::netlist::Net;
+
+/// Sentinel for an unused gate input slot.
+pub const NO_NET: Net = Net(u32::MAX);
+
+/// The primitive cell library.
+///
+/// The library is deliberately small — two-input gates plus a 2:1 mux —
+/// mirroring what a 0.35 um standard-cell mapping of the Plasma core would
+/// use. Every generator in [`crate::synth`] maps down to these primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Constant logic 0 (tie-low cell).
+    Const0,
+    /// Constant logic 1 (tie-high cell).
+    Const1,
+    /// Buffer: `y = a`.
+    Buf,
+    /// Inverter: `y = !a`.
+    Not,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer: `y = s ? b : a` with inputs `(s, a, b)`.
+    Mux2,
+    /// AND-OR-invert 2-1: `y = !((a & b) | c)` with inputs `(a, b, c)`.
+    Aoi21,
+    /// OR-AND-invert 2-1: `y = !((a | b) & c)` with inputs `(a, b, c)`.
+    Oai21,
+}
+
+impl GateKind {
+    /// Number of input pins this gate kind uses.
+    #[inline]
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Buf | GateKind::Not => 1,
+            GateKind::And2
+            | GateKind::Or2
+            | GateKind::Nand2
+            | GateKind::Nor2
+            | GateKind::Xor2
+            | GateKind::Xnor2 => 2,
+            GateKind::Mux2 | GateKind::Aoi21 | GateKind::Oai21 => 3,
+        }
+    }
+
+    /// Area cost in 2-input-NAND-gate equivalents.
+    ///
+    /// The paper (Table 3) counts component area in NAND2 units; these
+    /// weights follow typical standard-cell area ratios.
+    #[inline]
+    pub fn nand2_cost(self) -> f64 {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => 0.0,
+            GateKind::Buf => 1.0,
+            GateKind::Not => 0.5,
+            GateKind::Nand2 | GateKind::Nor2 => 1.0,
+            GateKind::And2 | GateKind::Or2 => 1.5,
+            GateKind::Xor2 | GateKind::Xnor2 => 2.5,
+            GateKind::Mux2 => 3.0,
+            GateKind::Aoi21 | GateKind::Oai21 => 1.5,
+        }
+    }
+
+    /// Evaluate the gate function on scalar booleans.
+    ///
+    /// Unused input slots must be passed as `false`.
+    #[inline]
+    pub fn eval(self, a: bool, b: bool, c: bool) -> bool {
+        match self {
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => a,
+            GateKind::Not => !a,
+            GateKind::And2 => a & b,
+            GateKind::Or2 => a | b,
+            GateKind::Nand2 => !(a & b),
+            GateKind::Nor2 => !(a | b),
+            GateKind::Xor2 => a ^ b,
+            GateKind::Xnor2 => !(a ^ b),
+            GateKind::Mux2 => {
+                if a {
+                    c
+                } else {
+                    b
+                }
+            }
+            GateKind::Aoi21 => !((a & b) | c),
+            GateKind::Oai21 => !((a | b) & c),
+        }
+    }
+
+    /// Evaluate the gate function bitwise on 64-lane words (one independent
+    /// machine per bit), as used by the fault simulator.
+    #[inline(always)]
+    pub fn eval_u64(self, a: u64, b: u64, c: u64) -> u64 {
+        match self {
+            GateKind::Const0 => 0,
+            GateKind::Const1 => !0,
+            GateKind::Buf => a,
+            GateKind::Not => !a,
+            GateKind::And2 => a & b,
+            GateKind::Or2 => a | b,
+            GateKind::Nand2 => !(a & b),
+            GateKind::Nor2 => !(a | b),
+            GateKind::Xor2 => a ^ b,
+            GateKind::Xnor2 => !(a ^ b),
+            GateKind::Mux2 => (a & c) | (!a & b),
+            GateKind::Aoi21 => !((a & b) | c),
+            GateKind::Oai21 => !((a | b) & c),
+        }
+    }
+
+    /// The controlling input value of the gate, if it has one.
+    ///
+    /// A value `v` is *controlling* if any input at `v` forces the output
+    /// regardless of the other inputs (AND-like: 0; OR-like: 1). XOR-like
+    /// gates, muxes and complex cells have none. Used for fault-equivalence
+    /// collapsing.
+    #[inline]
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And2 | GateKind::Nand2 => Some(false),
+            GateKind::Or2 | GateKind::Nor2 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Whether the gate inverts: output at controlling input `c` is `c ^ inversion`.
+    ///
+    /// Only meaningful together with [`Self::controlling_value`] (plus
+    /// `Buf`/`Not`, whose single-input faults are equivalent to output
+    /// faults of the same/opposite polarity).
+    #[inline]
+    pub fn inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Not | GateKind::Nand2 | GateKind::Nor2 | GateKind::Xnor2
+        )
+    }
+
+    /// All gate kinds, for exhaustive tests.
+    pub const ALL: [GateKind; 13] = [
+        GateKind::Const0,
+        GateKind::Const1,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And2,
+        GateKind::Or2,
+        GateKind::Nand2,
+        GateKind::Nor2,
+        GateKind::Xor2,
+        GateKind::Xnor2,
+        GateKind::Mux2,
+        GateKind::Aoi21,
+        GateKind::Oai21,
+    ];
+}
+
+/// One gate instance in a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gate {
+    /// Cell function.
+    pub kind: GateKind,
+    /// Input nets; unused slots hold [`NO_NET`].
+    pub inputs: [Net; 3],
+    /// Output net driven by this gate.
+    pub output: Net,
+}
+
+impl Gate {
+    /// Iterate over the used input nets.
+    pub fn used_inputs(&self) -> impl Iterator<Item = Net> + '_ {
+        self.inputs.iter().copied().take(self.kind.arity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_u64_eval_agree() {
+        for kind in GateKind::ALL {
+            for bits in 0u8..8 {
+                let (a, b, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+                let scalar = kind.eval(a, b, c);
+                let wide = kind.eval_u64(
+                    if a { !0 } else { 0 },
+                    if b { !0 } else { 0 },
+                    if c { !0 } else { 0 },
+                );
+                assert_eq!(
+                    wide,
+                    if scalar { !0u64 } else { 0 },
+                    "{kind:?} mismatch on {a}{b}{c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mux_semantics() {
+        // inputs (s, a, b): y = s ? b : a
+        assert!(!GateKind::Mux2.eval(false, false, true));
+        assert!(GateKind::Mux2.eval(false, true, false));
+        assert!(GateKind::Mux2.eval(true, false, true));
+        assert!(!GateKind::Mux2.eval(true, true, false));
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And2.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nand2.controlling_value(), Some(false));
+        assert_eq!(GateKind::Or2.controlling_value(), Some(true));
+        assert_eq!(GateKind::Nor2.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor2.controlling_value(), None);
+        assert_eq!(GateKind::Mux2.controlling_value(), None);
+    }
+
+    #[test]
+    fn costs_are_positive_for_logic() {
+        for kind in GateKind::ALL {
+            if !matches!(kind, GateKind::Const0 | GateKind::Const1) {
+                assert!(kind.nand2_cost() > 0.0, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn arity_matches_eval_sensitivity() {
+        // A gate must not be sensitive to inputs beyond its arity.
+        for kind in GateKind::ALL {
+            let n = kind.arity();
+            for bits in 0u8..8 {
+                let (a, b, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+                let base = kind.eval(a, b, c);
+                if n < 3 {
+                    assert_eq!(base, kind.eval(a, b, !c), "{kind:?} sensitive to c");
+                }
+                if n < 2 {
+                    assert_eq!(base, kind.eval(a, !b, c), "{kind:?} sensitive to b");
+                }
+                if n < 1 {
+                    assert_eq!(base, kind.eval(!a, b, c), "{kind:?} sensitive to a");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! The [`Netlist`] container: gates, flip-flops, ports, components,
+//! levelization and structural queries.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::gate::{Gate, NO_NET};
+
+/// A signal in the netlist, identified by a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Net(pub(crate) u32);
+
+impl Net {
+    /// Dense index of this net.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index (for serialization/test helpers).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Net(i as u32)
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an RT-level component (register file, ALU, ...) within a
+/// netlist. Every gate and flip-flop belongs to exactly one component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// Dense index of this component.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The implicit top-level component that uncategorized logic belongs to.
+pub const TOP_COMPONENT: ComponentId = ComponentId(0);
+
+/// A D flip-flop. All flip-flops share one implicit clock and an implicit
+/// synchronous active-high reset (to the given reset value), matching the
+/// fully synchronous Plasma core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dff {
+    /// Data input net.
+    pub d: Net,
+    /// Output net (the state element).
+    pub q: Net,
+    /// Value `q` takes while reset is asserted.
+    pub reset_value: bool,
+}
+
+/// Direction of a named port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// Primary input.
+    Input,
+    /// Primary output.
+    Output,
+}
+
+/// Errors detected when finalizing or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net is driven by more than one gate/flip-flop/input.
+    MultipleDrivers(Net),
+    /// A net has no driver but is used as a gate input.
+    Undriven(Net),
+    /// The combinational logic contains a cycle through the given net.
+    CombinationalLoop(Net),
+    /// Two ports share the same name.
+    DuplicatePort(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers(n) => write!(f, "net {n} has multiple drivers"),
+            NetlistError::Undriven(n) => write!(f, "net {n} is used but never driven"),
+            NetlistError::CombinationalLoop(n) => {
+                write!(f, "combinational loop through net {n}")
+            }
+            NetlistError::DuplicatePort(p) => write!(f, "duplicate port name `{p}`"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Per-component area/size statistics (the paper's Table 3 rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentStats {
+    /// Component name.
+    pub name: String,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Number of flip-flops.
+    pub dffs: usize,
+    /// Area in NAND2 equivalents (gates + flip-flops).
+    pub nand2_equiv: f64,
+}
+
+/// An immutable, validated gate-level netlist.
+///
+/// Construct via [`crate::NetlistBuilder`]. The netlist is stored
+/// struct-of-arrays style and pre-levelized so simulators can evaluate it
+/// with a single linear sweep.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) num_nets: u32,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) gate_component: Vec<ComponentId>,
+    pub(crate) dffs: Vec<Dff>,
+    pub(crate) dff_component: Vec<ComponentId>,
+    pub(crate) components: Vec<String>,
+    /// Port name -> (direction, nets LSB-first).
+    pub(crate) ports: Vec<(String, PortDir, Vec<Net>)>,
+    pub(crate) port_index: HashMap<String, usize>,
+    /// Gate indices in topological (levelized) order.
+    pub(crate) topo: Vec<u32>,
+    /// DFF cost in NAND2 equivalents.
+    pub(crate) dff_cost: f64,
+}
+
+impl Netlist {
+    /// Name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.num_nets as usize
+    }
+
+    /// All gates (unordered; see [`Self::topo_order`] for evaluation order).
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All flip-flops.
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// Component that gate `i` belongs to.
+    pub fn gate_component(&self, i: usize) -> ComponentId {
+        self.gate_component[i]
+    }
+
+    /// Component that flip-flop `i` belongs to.
+    pub fn dff_component(&self, i: usize) -> ComponentId {
+        self.dff_component[i]
+    }
+
+    /// Names of all components; index by [`ComponentId::index`].
+    pub fn component_names(&self) -> &[String] {
+        &self.components
+    }
+
+    /// Look up a component id by name.
+    pub fn component_by_name(&self, name: &str) -> Option<ComponentId> {
+        self.components
+            .iter()
+            .position(|c| c == name)
+            .map(|i| ComponentId(i as u32))
+    }
+
+    /// Gate indices in a valid topological evaluation order.
+    pub fn topo_order(&self) -> &[u32] {
+        &self.topo
+    }
+
+    /// Iterate over `(name, dir, nets)` for all ports.
+    pub fn ports(&self) -> impl Iterator<Item = (&str, PortDir, &[Net])> {
+        self.ports
+            .iter()
+            .map(|(n, d, v)| (n.as_str(), *d, v.as_slice()))
+    }
+
+    /// Nets of a named port (LSB first). Panics if the port does not exist —
+    /// port names are part of a design's compile-time contract.
+    pub fn port(&self, name: &str) -> &[Net] {
+        let i = *self
+            .port_index
+            .get(name)
+            .unwrap_or_else(|| panic!("no port named `{name}` in netlist `{}`", self.name));
+        &self.ports[i].2
+    }
+
+    /// Direction of a named port, if it exists.
+    pub fn port_dir(&self, name: &str) -> Option<PortDir> {
+        self.port_index.get(name).map(|&i| self.ports[i].1)
+    }
+
+    /// Total area in NAND2 equivalents (gates + flip-flops), the paper's
+    /// Table 3 unit.
+    pub fn nand2_equiv(&self) -> f64 {
+        let g: f64 = self.gates.iter().map(|g| g.kind.nand2_cost()).sum();
+        g + self.dffs.len() as f64 * self.dff_cost
+    }
+
+    /// Per-component statistics sorted by descending area (Table 3 order).
+    pub fn component_stats(&self) -> Vec<ComponentStats> {
+        let n = self.components.len();
+        let mut stats: Vec<ComponentStats> = (0..n)
+            .map(|i| ComponentStats {
+                name: self.components[i].clone(),
+                gates: 0,
+                dffs: 0,
+                nand2_equiv: 0.0,
+            })
+            .collect();
+        for (g, c) in self.gates.iter().zip(&self.gate_component) {
+            let s = &mut stats[c.index()];
+            s.gates += 1;
+            s.nand2_equiv += g.kind.nand2_cost();
+        }
+        for c in &self.dff_component {
+            let s = &mut stats[c.index()];
+            s.dffs += 1;
+            s.nand2_equiv += self.dff_cost;
+        }
+        stats.sort_by(|a, b| b.nand2_equiv.total_cmp(&a.nand2_equiv));
+        stats
+    }
+
+    /// Fanout count of every net (number of gate/DFF input pins it feeds).
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut fo = vec![0u32; self.num_nets()];
+        for g in &self.gates {
+            for n in g.used_inputs() {
+                fo[n.index()] += 1;
+            }
+        }
+        for ff in &self.dffs {
+            fo[ff.d.index()] += 1;
+        }
+        for (_, dir, nets) in self.ports() {
+            if matches!(dir, PortDir::Output) {
+                for &n in nets {
+                    fo[n.index()] += 1;
+                }
+            }
+        }
+        fo
+    }
+
+    /// Index of the gate driving each net (`u32::MAX` if driven by a DFF,
+    /// a primary input, or nothing).
+    pub fn driver_gate(&self) -> Vec<u32> {
+        let mut d = vec![u32::MAX; self.num_nets()];
+        for (i, g) in self.gates.iter().enumerate() {
+            d[g.output.index()] = i as u32;
+        }
+        d
+    }
+
+    /// Split the topological order into gates *independent of* the given
+    /// input nets (first segment) and gates in their fan-out cone (second
+    /// segment).
+    ///
+    /// Used by CPU testbenches: the memory read-data port is a "late" input
+    /// whose value depends on the address the netlist itself produced this
+    /// cycle, so the evaluation is split at the read-data cone. Returns
+    /// `(early, late)` gate-index lists, each in valid topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any primary-output net lies in the late cone — that would
+    /// be a combinational path from the late inputs to the outputs, which
+    /// the two-segment evaluation scheme cannot honour.
+    pub fn split_on_inputs(&self, late_inputs: &[Net]) -> (Vec<u32>, Vec<u32>) {
+        let mut tainted = vec![false; self.num_nets()];
+        for &n in late_inputs {
+            tainted[n.index()] = true;
+        }
+        let mut early = Vec::with_capacity(self.gates.len());
+        let mut late = Vec::new();
+        for &gi in &self.topo {
+            let g = &self.gates[gi as usize];
+            let is_late = g.used_inputs().any(|n| tainted[n.index()]);
+            if is_late {
+                tainted[g.output.index()] = true;
+                late.push(gi);
+            } else {
+                early.push(gi);
+            }
+        }
+        for (name, dir, nets) in self.ports() {
+            if matches!(dir, PortDir::Output) {
+                for &n in nets {
+                    assert!(
+                        !tainted[n.index()],
+                        "primary output `{name}` combinationally depends on a late input"
+                    );
+                }
+            }
+        }
+        (early, late)
+    }
+
+    /// Build and validate a netlist from raw parts. Used by the builder;
+    /// exposed for tests that need malformed inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: String,
+        num_nets: u32,
+        gates: Vec<Gate>,
+        gate_component: Vec<ComponentId>,
+        dffs: Vec<Dff>,
+        dff_component: Vec<ComponentId>,
+        components: Vec<String>,
+        ports: Vec<(String, PortDir, Vec<Net>)>,
+        dff_cost: f64,
+    ) -> Result<Self, NetlistError> {
+        let n = num_nets as usize;
+        // Driver check.
+        let mut driven = vec![false; n];
+        let mut drive = |net: Net| -> Result<(), NetlistError> {
+            let i = net.index();
+            if driven[i] {
+                return Err(NetlistError::MultipleDrivers(net));
+            }
+            driven[i] = true;
+            Ok(())
+        };
+        for g in &gates {
+            drive(g.output)?;
+        }
+        for ff in &dffs {
+            drive(ff.q)?;
+        }
+        let mut port_index = HashMap::new();
+        for (i, (pname, dir, nets)) in ports.iter().enumerate() {
+            if port_index.insert(pname.clone(), i).is_some() {
+                return Err(NetlistError::DuplicatePort(pname.clone()));
+            }
+            if matches!(dir, PortDir::Input) {
+                for &net in nets {
+                    let j = net.index();
+                    if driven[j] {
+                        return Err(NetlistError::MultipleDrivers(net));
+                    }
+                    driven[j] = true;
+                }
+            }
+        }
+        // Usage check.
+        for g in &gates {
+            for net in g.used_inputs() {
+                if net == NO_NET || !driven[net.index()] {
+                    return Err(NetlistError::Undriven(net));
+                }
+            }
+        }
+        for ff in &dffs {
+            if !driven[ff.d.index()] {
+                return Err(NetlistError::Undriven(ff.d));
+            }
+        }
+        for (_, dir, nets) in &ports {
+            if matches!(dir, PortDir::Output) {
+                for &net in nets {
+                    if !driven[net.index()] {
+                        return Err(NetlistError::Undriven(net));
+                    }
+                }
+            }
+        }
+
+        // Levelize with Kahn's algorithm over gate->gate dependencies.
+        // DFF outputs and primary inputs are level-0 sources.
+        let mut driver_gate = vec![u32::MAX; n];
+        for (i, g) in gates.iter().enumerate() {
+            driver_gate[g.output.index()] = i as u32;
+        }
+        let mut indeg = vec![0u32; gates.len()];
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); gates.len()];
+        for (i, g) in gates.iter().enumerate() {
+            for net in g.used_inputs() {
+                let d = driver_gate[net.index()];
+                if d != u32::MAX {
+                    indeg[i] += 1;
+                    dependents[d as usize].push(i as u32);
+                }
+            }
+        }
+        let mut queue: Vec<u32> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut topo = Vec::with_capacity(gates.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let gi = queue[head];
+            head += 1;
+            topo.push(gi);
+            for &dep in &dependents[gi as usize] {
+                indeg[dep as usize] -= 1;
+                if indeg[dep as usize] == 0 {
+                    queue.push(dep);
+                }
+            }
+        }
+        if topo.len() != gates.len() {
+            // Find a gate still in a cycle for the error message.
+            let gi = indeg.iter().position(|&d| d > 0).unwrap();
+            return Err(NetlistError::CombinationalLoop(gates[gi].output));
+        }
+
+        Ok(Netlist {
+            name,
+            num_nets,
+            gates,
+            gate_component,
+            dffs,
+            dff_component,
+            components,
+            ports,
+            port_index,
+            topo,
+            dff_cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn component_stats_sorted_by_area() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        b.begin_component("big");
+        let x = b.xor2(a, c);
+        let y = b.xor2(x, a);
+        b.end_component();
+        b.begin_component("small");
+        let z = b.and2(y, c);
+        b.end_component();
+        b.output("z", z);
+        let nl = b.finish().unwrap();
+        let stats = nl.component_stats();
+        assert_eq!(stats[0].name, "big");
+        assert_eq!(stats[0].gates, 2);
+        assert!(stats[0].nand2_equiv > stats[1].nand2_equiv);
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let mut b = NetlistBuilder::new("loop");
+        let a = b.input("a");
+        let fwd = b.fresh_net();
+        let x = b.and2(a, fwd);
+        let y = b.not(x);
+        b.connect(fwd, y);
+        b.output("y", y);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::CombinationalLoop(_))
+        ));
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut b = NetlistBuilder::new("undriven");
+        let a = b.input("a");
+        let ghost = b.fresh_net();
+        let x = b.and2(a, ghost);
+        b.output("x", x);
+        assert!(matches!(b.finish(), Err(NetlistError::Undriven(_))));
+    }
+
+    #[test]
+    fn split_on_inputs_respects_cone() {
+        let mut b = NetlistBuilder::new("split");
+        let a = b.input("a");
+        let late = b.input("late");
+        let early_out = b.not(a);
+        let mixed = b.and2(early_out, late);
+        let q = b.dff(mixed, false);
+        b.output("early", early_out);
+        b.output("q", q);
+        let nl = b.finish().unwrap();
+        let (early, late_seg) = nl.split_on_inputs(nl.port("late"));
+        assert_eq!(early.len() + late_seg.len(), nl.gates().len());
+        // The AND gate must be in the late segment.
+        let and_idx = nl
+            .gates()
+            .iter()
+            .position(|g| g.kind == GateKind::And2)
+            .unwrap() as u32;
+        assert!(late_seg.contains(&and_idx));
+        assert!(!early.contains(&and_idx));
+    }
+
+    #[test]
+    #[should_panic(expected = "combinationally depends")]
+    fn split_panics_if_output_in_late_cone() {
+        let mut b = NetlistBuilder::new("bad-split");
+        let late = b.input("late");
+        let y = b.not(late);
+        b.output("y", y);
+        let nl = b.finish().unwrap();
+        let _ = nl.split_on_inputs(nl.port("late"));
+    }
+
+    #[test]
+    fn duplicate_port_rejected() {
+        let mut b = NetlistBuilder::new("dup");
+        let a = b.input("a");
+        let x = b.not(a);
+        b.output("x", x);
+        let y = b.not(x);
+        b.output("x", y);
+        assert!(matches!(b.finish(), Err(NetlistError::DuplicatePort(_))));
+    }
+}

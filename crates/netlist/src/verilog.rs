@@ -1,0 +1,151 @@
+//! Structural Verilog export.
+//!
+//! Writes the netlist as a flat gate-level Verilog module built from
+//! primitive `assign` statements and behavioural flip-flops, so the cores
+//! built here can be inspected, simulated or re-synthesized with standard
+//! HDL tooling.
+
+use std::fmt::Write as _;
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, PortDir};
+
+/// Render the netlist as a synthesizable Verilog-2001 module.
+pub fn to_verilog(netlist: &Netlist) -> String {
+    let mut v = String::new();
+    let module = sanitize(netlist.name());
+    let _ = writeln!(v, "module {module} (");
+    let _ = writeln!(v, "    input  wire clk,");
+    let _ = writeln!(v, "    input  wire rst,");
+    let n_ports = netlist.ports().count();
+    for (k, (name, dir, nets)) in netlist.ports().enumerate() {
+        let dir_s = match dir {
+            PortDir::Input => "input  wire",
+            PortDir::Output => "output wire",
+        };
+        let range = if nets.len() > 1 {
+            format!("[{}:0] ", nets.len() - 1)
+        } else {
+            String::new()
+        };
+        let comma = if k + 1 == n_ports { "" } else { "," };
+        let _ = writeln!(v, "    {dir_s} {range}{}{comma}", sanitize(name));
+    }
+    let _ = writeln!(v, ");\n");
+
+    // One wire per net.
+    let _ = writeln!(v, "  wire [{}:0] n;", netlist.num_nets() - 1);
+
+    // Port connections.
+    for (name, dir, nets) in netlist.ports() {
+        let pname = sanitize(name);
+        for (i, &net) in nets.iter().enumerate() {
+            let bit = if nets.len() > 1 {
+                format!("{pname}[{i}]")
+            } else {
+                pname.clone()
+            };
+            match dir {
+                PortDir::Input => {
+                    let _ = writeln!(v, "  assign n[{}] = {bit};", net.index());
+                }
+                PortDir::Output => {
+                    let _ = writeln!(v, "  assign {bit} = n[{}];", net.index());
+                }
+            }
+        }
+    }
+    let _ = writeln!(v);
+
+    // Gates.
+    for g in netlist.gates() {
+        let o = g.output.index();
+        let inp: Vec<String> = g.used_inputs().map(|n| format!("n[{}]", n.index())).collect();
+        let expr = match g.kind {
+            GateKind::Const0 => "1'b0".to_string(),
+            GateKind::Const1 => "1'b1".to_string(),
+            GateKind::Buf => inp[0].clone(),
+            GateKind::Not => format!("~{}", inp[0]),
+            GateKind::And2 => format!("{} & {}", inp[0], inp[1]),
+            GateKind::Or2 => format!("{} | {}", inp[0], inp[1]),
+            GateKind::Nand2 => format!("~({} & {})", inp[0], inp[1]),
+            GateKind::Nor2 => format!("~({} | {})", inp[0], inp[1]),
+            GateKind::Xor2 => format!("{} ^ {}", inp[0], inp[1]),
+            GateKind::Xnor2 => format!("~({} ^ {})", inp[0], inp[1]),
+            GateKind::Mux2 => format!("{} ? {} : {}", inp[0], inp[2], inp[1]),
+            GateKind::Aoi21 => format!("~(({} & {}) | {})", inp[0], inp[1], inp[2]),
+            GateKind::Oai21 => format!("~(({} | {}) & {})", inp[0], inp[1], inp[2]),
+        };
+        let _ = writeln!(v, "  assign n[{o}] = {expr};");
+    }
+    let _ = writeln!(v);
+
+    // Flip-flops: one synchronous-reset always block.
+    if !netlist.dffs().is_empty() {
+        let _ = writeln!(v, "  reg [{}:0] q;", netlist.dffs().len() - 1);
+        for (i, ff) in netlist.dffs().iter().enumerate() {
+            let _ = writeln!(v, "  assign n[{}] = q[{i}];", ff.q.index());
+        }
+        let _ = writeln!(v, "  always @(posedge clk) begin");
+        let _ = writeln!(v, "    if (rst) begin");
+        for (i, ff) in netlist.dffs().iter().enumerate() {
+            let _ = writeln!(v, "      q[{i}] <= 1'b{};", ff.reset_value as u8);
+        }
+        let _ = writeln!(v, "    end else begin");
+        for (i, ff) in netlist.dffs().iter().enumerate() {
+            let _ = writeln!(v, "      q[{i}] <= n[{}];", ff.d.index());
+        }
+        let _ = writeln!(v, "    end");
+        let _ = writeln!(v, "  end");
+    }
+    let _ = writeln!(v, "\nendmodule");
+    v
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn verilog_mentions_all_structure() {
+        let mut b = NetlistBuilder::new("tiny-core");
+        let a = b.inputs("a", 2);
+        let x = b.xor2(a[0], a[1]);
+        let q = b.dff(x, true);
+        b.output("q", q);
+        let nl = b.finish().unwrap();
+        let v = to_verilog(&nl);
+        assert!(v.contains("module tiny_core"));
+        assert!(v.contains("input  wire [1:0] a"));
+        assert!(v.contains("output wire q"));
+        assert!(v.contains('^'));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("q[0] <= 1'b1;"), "reset value exported");
+        assert!(v.ends_with("endmodule\n"));
+    }
+
+    #[test]
+    fn plasma_scale_export_is_wellformed() {
+        // The whole point: export something big without panicking and
+        // with balanced structure.
+        let mut b = NetlistBuilder::new("block");
+        let a = b.inputs("a", 32);
+        let c = b.inputs("b", 32);
+        let zero = b.zero();
+        let r = crate::synth::add_ripple(&mut b, &a, &c, zero);
+        let q = b.dff_word(&r.sum, 0);
+        b.outputs("q", &q);
+        let nl = b.finish().unwrap();
+        let v = to_verilog(&nl);
+        assert_eq!(v.matches("module ").count(), 1);
+        assert_eq!(v.matches("endmodule").count(), 1);
+        assert!(v.matches("assign").count() > nl.gates().len());
+    }
+}

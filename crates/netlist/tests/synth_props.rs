@@ -1,0 +1,122 @@
+//! Property-based verification of the structural generators against
+//! native arithmetic, across widths and technology styles.
+
+use netlist::sim::Simulator;
+use netlist::synth::{self, TechStyle};
+use netlist::NetlistBuilder;
+use proptest::prelude::*;
+
+fn adder(style: TechStyle, width: usize) -> netlist::Netlist {
+    let mut b = NetlistBuilder::new("a");
+    let a = b.inputs("a", width);
+    let c = b.inputs("b", width);
+    let cin = b.input("cin");
+    let r = synth::add(&mut b, style, &a, &c, cin);
+    b.outputs("s", &r.sum);
+    b.output("co", r.carry_out);
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adders_match_native(
+        a in any::<u64>(), b in any::<u64>(),
+        cin in any::<bool>(),
+        width in 1usize..40,
+        style_b in any::<bool>(),
+    ) {
+        let style = if style_b { TechStyle::ClaAoi } else { TechStyle::RippleMux };
+        let mask = if width >= 64 { !0u64 } else { (1u64 << width) - 1 };
+        let (av, bv) = (a & mask, b & mask);
+        let nl = adder(style, width);
+        let mut sim = Simulator::new(&nl);
+        sim.set_input_word(&nl, "a", av);
+        sim.set_input_word(&nl, "b", bv);
+        sim.set_input_word(&nl, "cin", cin as u64);
+        sim.eval(&nl);
+        let full = (av as u128) + (bv as u128) + (cin as u128);
+        prop_assert_eq!(sim.output_word(&nl, "s"), (full as u64) & mask);
+        prop_assert_eq!(sim.output_word(&nl, "co"), ((full >> width) & 1) as u64);
+    }
+
+    #[test]
+    fn addsub_subtracts_correctly(
+        a in any::<u32>(), b in any::<u32>(), sub in any::<bool>(),
+        style_b in any::<bool>(),
+    ) {
+        let style = if style_b { TechStyle::ClaAoi } else { TechStyle::RippleMux };
+        let mut bld = NetlistBuilder::new("as");
+        let aw = bld.inputs("a", 32);
+        let bw = bld.inputs("b", 32);
+        let s = bld.input("sub");
+        let r = synth::addsub(&mut bld, style, &aw, &bw, s);
+        bld.outputs("r", &r.sum);
+        let nl = bld.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input_word(&nl, "a", a as u64);
+        sim.set_input_word(&nl, "b", b as u64);
+        sim.set_input_word(&nl, "sub", sub as u64);
+        sim.eval(&nl);
+        let want = if sub { a.wrapping_sub(b) } else { a.wrapping_add(b) };
+        prop_assert_eq!(sim.output_word(&nl, "r") as u32, want);
+    }
+
+    #[test]
+    fn barrel_shifter_matches_native(
+        d in any::<u32>(), sh in 0u32..32,
+        left in any::<bool>(), arith in any::<bool>(),
+    ) {
+        let mut b = NetlistBuilder::new("bsh");
+        let dw = b.inputs("d", 32);
+        let shw = b.inputs("sh", 5);
+        let l = b.input("left");
+        let ar = b.input("arith");
+        let out = synth::barrel_shifter(&mut b, &dw, &shw, l, ar);
+        b.outputs("out", &out);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input_word(&nl, "d", d as u64);
+        sim.set_input_word(&nl, "sh", sh as u64);
+        sim.set_input_word(&nl, "left", left as u64);
+        sim.set_input_word(&nl, "arith", arith as u64);
+        sim.eval(&nl);
+        let want = if left {
+            d << sh
+        } else if arith {
+            ((d as i32) >> sh) as u32
+        } else {
+            d >> sh
+        };
+        prop_assert_eq!(sim.output_word(&nl, "out") as u32, want);
+    }
+
+    #[test]
+    fn optimizer_preserves_combinational_function(
+        a in any::<u16>(), b in any::<u16>(),
+    ) {
+        // A block with folding opportunities (tied carry, dead cone).
+        let mut bld = NetlistBuilder::new("o");
+        let aw = bld.inputs("a", 16);
+        let bw = bld.inputs("b", 16);
+        let zero = bld.zero();
+        let r = synth::add_ripple(&mut bld, &aw, &bw, zero);
+        let dead = bld.and_word(&aw, &bw);
+        let _sink = bld.or_tree(&dead);
+        bld.outputs("s", &r.sum);
+        let nl = bld.finish().unwrap();
+        let (opt, _) = netlist::opt::optimize(&nl);
+        let mut s1 = Simulator::new(&nl);
+        let mut s2 = Simulator::new(&opt);
+        for sim in [&mut s1] {
+            sim.set_input_word(&nl, "a", a as u64);
+            sim.set_input_word(&nl, "b", b as u64);
+            sim.eval(&nl);
+        }
+        s2.set_input_word(&opt, "a", a as u64);
+        s2.set_input_word(&opt, "b", b as u64);
+        s2.eval(&opt);
+        prop_assert_eq!(s1.output_word(&nl, "s"), s2.output_word(&opt, "s"));
+    }
+}

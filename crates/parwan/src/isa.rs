@@ -1,0 +1,169 @@
+//! Machine-code program builder for the Parwan-class ISA.
+//!
+//! The Parwan side of the reproduction does not need a text assembler;
+//! self-test routines are generated programmatically with this builder
+//! (labels are handled with explicit fix-ups).
+
+/// Branch condition mask: branch taken when any selected flag is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cond(pub u8);
+
+impl Cond {
+    /// Branch if zero flag set.
+    pub const Z: Cond = Cond(0b0001);
+    /// Branch if negative flag set.
+    pub const N: Cond = Cond(0b0010);
+    /// Branch if carry flag set.
+    pub const C: Cond = Cond(0b0100);
+    /// Branch if overflow flag set.
+    pub const V: Cond = Cond(0b1000);
+}
+
+/// Incremental machine-code builder with a byte-granular location
+/// counter.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    bytes: Vec<u8>,
+}
+
+impl ProgramBuilder {
+    /// Empty program starting at address 0 (the reset vector).
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Current location counter.
+    pub fn here(&self) -> u16 {
+        self.bytes.len() as u16
+    }
+
+    /// Finished image.
+    pub fn build(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    fn two(&mut self, opcode: u8, addr: u16) -> &mut Self {
+        assert!(addr < 0x1000, "address out of 12-bit range");
+        self.bytes.push((opcode << 4) | ((addr >> 8) as u8));
+        self.bytes.push((addr & 0xFF) as u8);
+        self
+    }
+
+    /// `LDA addr`.
+    pub fn lda(&mut self, addr: u16) -> &mut Self {
+        self.two(0x0, addr)
+    }
+
+    /// `AND addr`.
+    pub fn and(&mut self, addr: u16) -> &mut Self {
+        self.two(0x1, addr)
+    }
+
+    /// `ADD addr`.
+    pub fn add(&mut self, addr: u16) -> &mut Self {
+        self.two(0x2, addr)
+    }
+
+    /// `SUB addr`.
+    pub fn sub(&mut self, addr: u16) -> &mut Self {
+        self.two(0x3, addr)
+    }
+
+    /// `JMP addr`.
+    pub fn jmp(&mut self, addr: u16) -> &mut Self {
+        self.two(0x4, addr)
+    }
+
+    /// `STA addr`.
+    pub fn sta(&mut self, addr: u16) -> &mut Self {
+        self.two(0x5, addr)
+    }
+
+    /// `BRA cond, target` — target must be in the same 256-byte page as
+    /// the *following* instruction.
+    pub fn bra(&mut self, cond: Cond, target: u16) -> &mut Self {
+        self.bytes.push(0x70 | (cond.0 & 0xF));
+        self.bytes.push((target & 0xFF) as u8);
+        // Page check happens at execution (the hardware splices the PC
+        // page); assert builder-side for early failure.
+        let next = self.here();
+        assert_eq!(
+            next & 0xF00,
+            target & 0xF00,
+            "branch target 0x{target:03x} leaves the page of 0x{next:03x}"
+        );
+        self
+    }
+
+    /// `NOP`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.bytes.push(0x80);
+        self
+    }
+
+    /// `CLA`.
+    pub fn cla(&mut self) -> &mut Self {
+        self.bytes.push(0x81);
+        self
+    }
+
+    /// `CMA`.
+    pub fn cma(&mut self) -> &mut Self {
+        self.bytes.push(0x82);
+        self
+    }
+
+    /// `CMC`.
+    pub fn cmc(&mut self) -> &mut Self {
+        self.bytes.push(0x83);
+        self
+    }
+
+    /// `ASL`.
+    pub fn asl(&mut self) -> &mut Self {
+        self.bytes.push(0x84);
+        self
+    }
+
+    /// `ASR`.
+    pub fn asr(&mut self) -> &mut Self {
+        self.bytes.push(0x85);
+        self
+    }
+
+    /// Raw data byte at the current location.
+    pub fn byte(&mut self, v: u8) -> &mut Self {
+        self.bytes.push(v);
+        self
+    }
+
+    /// Pad with `NOP` up to `addr`.
+    pub fn pad_to(&mut self, addr: u16) -> &mut Self {
+        assert!(addr as usize >= self.bytes.len(), "pad_to goes backward");
+        while self.bytes.len() < addr as usize {
+            self.bytes.push(0x80);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodings() {
+        let mut p = ProgramBuilder::new();
+        p.lda(0x123).sta(0xABC).jmp(0x004).nop().asl();
+        let b = p.build();
+        assert_eq!(b, vec![0x01, 0x23, 0x5A, 0xBC, 0x40, 0x04, 0x80, 0x84]);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the page")]
+    fn cross_page_branch_rejected() {
+        let mut p = ProgramBuilder::new();
+        p.pad_to(0xFE);
+        p.bra(Cond::Z, 0x280);
+    }
+}

@@ -1,0 +1,44 @@
+//! A Parwan-class 8-bit accumulator processor.
+//!
+//! The paper's Section 1 quotes the cost advantage of deterministic SBST
+//! (\[7\]\[8\]) over pseudorandom SBST (\[6\]) on the *Parwan* educational
+//! processor: ~20× smaller test program, ~75× less test data, ~90× fewer
+//! test cycles, at essentially the same (~91%) stuck-at coverage. This
+//! crate provides the substrate to reproduce that comparison: a small
+//! accumulator machine in the spirit of Parwan, built gate-level from the
+//! same `netlist` primitives as the Plasma-class core and graded by the
+//! same fault simulator.
+//!
+//! The ISA (a documented simplification of Navabi's Parwan — no indirect
+//! addressing, no JSR, byte-wide bus, 12-bit address space):
+//!
+//! | encoding | mnemonic | semantics |
+//! |----------|----------|-----------|
+//! | `0p aa`  | `LDA a`  | `AC <- mem[a]`, sets N/Z |
+//! | `1p aa`  | `AND a`  | `AC <- AC & mem[a]`, sets N/Z |
+//! | `2p aa`  | `ADD a`  | `AC <- AC + mem[a]`, sets C/V/N/Z |
+//! | `3p aa`  | `SUB a`  | `AC <- AC - mem[a]`, sets C/V/N/Z |
+//! | `4p aa`  | `JMP a`  | `PC <- a` |
+//! | `5p aa`  | `STA a`  | `mem[a] <- AC` |
+//! | `7c aa`  | `BRA c, t` | branch in-page when any flag selected by `c` (bit0 Z, bit1 N, bit2 C, bit3 V) is set |
+//! | `80`     | `NOP`    | |
+//! | `81`     | `CLA`    | `AC <- 0` |
+//! | `82`     | `CMA`    | `AC <- !AC`, sets N/Z |
+//! | `83`     | `CMC`    | `C <- !C` |
+//! | `84`     | `ASL`    | `AC <- AC << 1`, `C` <- old bit 7, sets N/Z/V |
+//! | `85`     | `ASR`    | `AC <- AC >> 1` arithmetic, `C` <- old bit 0, sets N/Z |
+//!
+//! (`p` = high nibble of the 12-bit address; `aa` = low byte; two-byte
+//! instructions take 3 bus cycles for memory ops, 2 otherwise.)
+
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod isa;
+pub mod model;
+pub mod sbst;
+pub mod testbench;
+
+pub use crate::core::{ParwanCore, PARWAN_COMPONENTS};
+pub use isa::{Cond, ProgramBuilder};
+pub use model::ParwanModel;

@@ -1,0 +1,272 @@
+//! Scalar and 64-lane testbenches for the Parwan-class core.
+
+use std::collections::HashMap;
+
+use fault::campaign::Testbench;
+use fault::sim::ParallelSim;
+use netlist::sim::Simulator;
+
+use crate::core::ParwanCore;
+use crate::model::BusCycle;
+
+/// Scalar gate-level testbench with 4 KB of memory.
+pub struct GateParwan<'a> {
+    core: &'a ParwanCore,
+    sim: Simulator,
+    /// Memory image (public for checking results).
+    pub mem: Vec<u8>,
+}
+
+impl<'a> GateParwan<'a> {
+    /// Core in reset with zeroed memory.
+    pub fn new(core: &'a ParwanCore) -> GateParwan<'a> {
+        let mut sim = Simulator::new(core.netlist());
+        sim.reset(core.netlist());
+        GateParwan {
+            core,
+            sim,
+            mem: vec![0; 4096],
+        }
+    }
+
+    /// Load a program image at address 0.
+    pub fn load(&mut self, image: &[u8]) {
+        self.mem[..image.len()].copy_from_slice(image);
+    }
+
+    /// One clock cycle.
+    pub fn cycle(&mut self) -> BusCycle {
+        let nl = self.core.netlist();
+        let [early, late] = self.core.segments();
+        self.sim.eval_segment(nl, early);
+        let addr = (self.sim.output_word(nl, "mem_addr") & 0xFFF) as u16;
+        let we = self.sim.output_word(nl, "mem_we") == 1;
+        let wdata = self.sim.output_word(nl, "mem_wdata") as u8;
+        let rdata = self.mem[addr as usize];
+        if we {
+            self.mem[addr as usize] = wdata;
+        }
+        self.sim.set_input_word(nl, "mem_rdata", rdata as u64);
+        self.sim.eval_segment(nl, late);
+        self.sim.clock(nl);
+        BusCycle {
+            addr,
+            wdata,
+            we,
+            rdata,
+        }
+    }
+
+    /// Run `n` cycles and return the bus trace.
+    pub fn run(&mut self, n: usize) -> Vec<BusCycle> {
+        (0..n).map(|_| self.cycle()).collect()
+    }
+}
+
+/// 64-lane self-test bench: shared base image plus per-lane overlays,
+/// divergence from lane 0 on the observed bus is the detection.
+pub struct ParwanSelfTestBench<'a> {
+    core: &'a ParwanCore,
+    base: Vec<u8>,
+    overlays: Vec<HashMap<u16, u8>>,
+    budget: u64,
+    scratch: [u64; 64],
+    bits: Vec<u64>,
+}
+
+impl<'a> ParwanSelfTestBench<'a> {
+    /// Create the bench with the program preloaded and a cycle budget.
+    pub fn new(core: &'a ParwanCore, image: &[u8], budget: u64) -> ParwanSelfTestBench<'a> {
+        let mut base = vec![0u8; 4096];
+        base[..image.len()].copy_from_slice(image);
+        ParwanSelfTestBench {
+            core,
+            base,
+            overlays: (0..64).map(|_| HashMap::new()).collect(),
+            budget,
+            scratch: [0; 64],
+            bits: Vec::new(),
+        }
+    }
+
+    fn read(&self, lane: usize, addr: u16) -> u8 {
+        match self.overlays[lane].get(&addr) {
+            Some(&v) => v,
+            None => self.base[(addr & 0xFFF) as usize],
+        }
+    }
+}
+
+impl Testbench for ParwanSelfTestBench<'_> {
+    fn begin(&mut self, _sim: &mut ParallelSim) {
+        for o in &mut self.overlays {
+            o.clear();
+        }
+    }
+
+    fn step(&mut self, sim: &mut ParallelSim, _cycle: u64) -> u64 {
+        let nl = self.core.netlist();
+        sim.eval_segment(0);
+        let addr_nets = nl.port("mem_addr");
+        let wdata_nets = nl.port("mem_wdata");
+        let we_lanes = sim.net_lanes(nl.port("mem_we")[0]);
+        for lane in 0..64 {
+            let addr = (sim.lane_word(addr_nets, lane) & 0xFFF) as u16;
+            self.scratch[lane] = self.read(lane, addr) as u64;
+            if (we_lanes >> lane) & 1 == 1 {
+                let wdata = sim.lane_word(wdata_nets, lane) as u8;
+                self.overlays[lane].insert(addr, wdata);
+            }
+        }
+        fault::sim::transpose_lanes(&self.scratch, 8, &mut self.bits);
+        sim.set_port_bits(nl, "mem_rdata", &self.bits);
+        let diff = sim.diff_vs_lane0(self.core.observed_outputs());
+        sim.eval_segment(1);
+        sim.clock();
+        diff
+    }
+
+    fn cycles(&self) -> u64 {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, ProgramBuilder};
+    use crate::model::ParwanModel;
+    use crate::ParwanCore;
+
+    /// Lock-step co-simulation: the gate-level core and the behavioural
+    /// model must agree cycle by cycle on the bus.
+    #[test]
+    fn cosim_directed() {
+        let core = ParwanCore::build();
+        let mut p = ProgramBuilder::new();
+        p.lda(0x100)
+            .add(0x101)
+            .sta(0x200)
+            .sub(0x101)
+            .sta(0x201)
+            .and(0x102)
+            .sta(0x202)
+            .cla()
+            .cma()
+            .asl()
+            .cmc()
+            .asr()
+            .sta(0x203);
+        p.lda(0x100).sub(0x100).bra(Cond::Z, 0x030);
+        p.sta(0x204);
+        p.pad_to(0x030);
+        let h = p.here();
+        p.jmp(h);
+        p.pad_to(0x100).byte(100).byte(58).byte(0xF0);
+        let img = p.build();
+
+        let mut gate = GateParwan::new(&core);
+        gate.load(&img);
+        let mut model = ParwanModel::new();
+        let mut mem = vec![0u8; 4096];
+        mem[..img.len()].copy_from_slice(&img);
+
+        for c in 0..300 {
+            let want = model.cycle(&mut mem);
+            let got = gate.cycle();
+            assert_eq!(got, want, "bus divergence at cycle {c}");
+        }
+        assert_eq!(gate.mem, mem, "memory images diverged");
+    }
+
+    /// Pseudo-random instruction streams (valid encodings only) must also
+    /// agree — a broad equivalence sweep.
+    #[test]
+    fn cosim_randomized() {
+        let core = ParwanCore::build();
+        let mut state = 0x1357_9BDFu64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            state
+        };
+        for prog in 0..12 {
+            let mut p = ProgramBuilder::new();
+            for _ in 0..60 {
+                let op = next() % 12;
+                let addr = 0x300 + (next() % 0x80) as u16; // data window
+                match op {
+                    0 => {
+                        p.lda(addr);
+                    }
+                    1 => {
+                        p.and(addr);
+                    }
+                    2 => {
+                        p.add(addr);
+                    }
+                    3 => {
+                        p.sub(addr);
+                    }
+                    4 => {
+                        p.sta(addr);
+                    }
+                    5 => {
+                        p.cla();
+                    }
+                    6 => {
+                        p.cma();
+                    }
+                    7 => {
+                        p.cmc();
+                    }
+                    8 => {
+                        p.asl();
+                    }
+                    9 => {
+                        p.asr();
+                    }
+                    10 => {
+                        p.nop();
+                    }
+                    _ => {
+                        // Short forward branch within the page.
+                        let here = p.here();
+                        let tgt = (here + 2 + 2 * ((next() % 3) as u16 + 1)).min(0x2F0);
+                        if tgt & 0xF00 == (here + 2) & 0xF00 {
+                            p.bra(Cond(next() as u8 & 0xF), tgt);
+                            while p.here() < tgt {
+                                p.nop();
+                            }
+                        } else {
+                            p.nop();
+                        }
+                    }
+                }
+                if p.here() > 0x2E0 {
+                    break;
+                }
+            }
+            let h = p.here();
+            p.jmp(h);
+            p.pad_to(0x300);
+            for _ in 0..0x80 {
+                p.byte(next() as u8);
+            }
+            let img = p.build();
+
+            let mut gate = GateParwan::new(&core);
+            gate.load(&img);
+            let mut model = ParwanModel::new();
+            let mut mem = vec![0u8; 4096];
+            mem[..img.len()].copy_from_slice(&img);
+            for c in 0..500 {
+                let want = model.cycle(&mut mem);
+                let got = gate.cycle();
+                assert_eq!(got, want, "prog {prog}: divergence at cycle {c}");
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The arithmetic-logic unit (`ALU` component, functional class).
+//!
+//! Operation select encoding (`op[2:0]`):
+//!
+//! | op  | function |
+//! |-----|----------|
+//! | 000 | add      |
+//! | 001 | sub      |
+//! | 010 | and      |
+//! | 011 | or       |
+//! | 100 | xor      |
+//! | 101 | nor      |
+//! | 110 | slt      |
+//! | 111 | sltu     |
+//!
+//! `slt`/`sltu` produce a zero-extended 1-bit result from the shared
+//! subtractor's flags, exactly as the Plasma ALU derives them.
+
+use netlist::synth::{self, TechStyle};
+use netlist::{Net, NetlistBuilder, Word};
+
+/// Build the ALU. `a`/`c` are the two 32-bit operands, `op` the 3-bit
+/// select. Returns the 32-bit result.
+pub fn alu(b: &mut NetlistBuilder, style: TechStyle, op: &[Net; 3], a: &Word, c: &Word) -> Word {
+    assert_eq!(a.len(), 32);
+    assert_eq!(c.len(), 32);
+    b.begin_component("ALU");
+
+    // Subtract is active for sub (001), slt (110), sltu (111).
+    let n2 = b.not(op[2]);
+    let n1 = b.not(op[1]);
+    let sub_sel = {
+        let s001 = b.and2(n2, n1);
+        let s001 = b.and2(s001, op[0]);
+        let s11x = b.and2(op[2], op[1]);
+        b.or2(s001, s11x)
+    };
+
+    let addsub = synth::addsub(b, style, a, c, sub_sel);
+
+    // Flags for the set-on-less-than family.
+    // signed: slt = sum[31] XOR overflow, overflow = c_in(msb) XOR c_out
+    // unsigned: sltu = NOT carry_out (borrow present)
+    let overflow = b.xor2(addsub.carry_into_msb, addsub.carry_out);
+    let slt_bit = b.xor2(addsub.sum[31], overflow);
+    let sltu_bit = b.not(addsub.carry_out);
+    let slt_sel_bit = b.mux2(op[0], slt_bit, sltu_bit);
+    let zero = b.zero();
+    let mut slt_word: Word = vec![zero; 32];
+    slt_word[0] = slt_sel_bit;
+
+    // Logic unit.
+    let and_w = b.and_word(a, c);
+    let or_w = b.or_word(a, c);
+    let xor_w = b.xor_word(a, c);
+    let nor_w = b.nor_word(a, c);
+
+    let items: Vec<Word> = vec![
+        addsub.sum.clone(), // 000 add
+        addsub.sum.clone(), // 001 sub (same adder, sub_sel decided above)
+        and_w,              // 010
+        or_w,               // 011
+        xor_w,              // 100
+        nor_w,              // 101
+        slt_word.clone(),   // 110 slt
+        slt_word,           // 111 sltu (selected inside slt_word)
+    ];
+    let result = synth::select(b, style, op, &items);
+
+    b.end_component();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::sim::Simulator;
+
+    fn alu_model(op: u32, a: u32, c: u32) -> u32 {
+        match op {
+            0 => a.wrapping_add(c),
+            1 => a.wrapping_sub(c),
+            2 => a & c,
+            3 => a | c,
+            4 => a ^ c,
+            5 => !(a | c),
+            6 => ((a as i32) < (c as i32)) as u32,
+            7 => (a < c) as u32,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn alu_matches_model_both_styles() {
+        for style in [TechStyle::RippleMux, TechStyle::ClaAoi] {
+            let mut b = NetlistBuilder::new("alu");
+            let a = b.inputs("a", 32);
+            let c = b.inputs("b", 32);
+            let op_w = b.inputs("op", 3);
+            let op = [op_w[0], op_w[1], op_w[2]];
+            let r = alu(&mut b, style, &op, &a, &c);
+            b.outputs("r", &r);
+            let nl = b.finish().unwrap();
+            let mut sim = Simulator::new(&nl);
+            let cases = [
+                (0u32, 0u32),
+                (1, 1),
+                (0xFFFF_FFFF, 1),
+                (0x8000_0000, 0x7FFF_FFFF),
+                (0x7FFF_FFFF, 0x8000_0000),
+                (0xDEAD_BEEF, 0x1234_5678),
+                (5, 3),
+                (3, 5),
+                (0x8000_0000, 0x8000_0000),
+                (0xFFFF_FFFE, 0xFFFF_FFFF),
+            ];
+            for op_v in 0..8u32 {
+                for &(av, cv) in &cases {
+                    sim.set_input_word(&nl, "a", av as u64);
+                    sim.set_input_word(&nl, "b", cv as u64);
+                    sim.set_input_word(&nl, "op", op_v as u64);
+                    sim.eval(&nl);
+                    assert_eq!(
+                        sim.output_word(&nl, "r") as u32,
+                        alu_model(op_v, av, cv),
+                        "{style:?} op={op_v} a={av:#x} b={cv:#x}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The operand/result bus multiplexers (`BMUX` component, control class).
+
+use netlist::synth::{self, TechStyle};
+use netlist::{Net, NetlistBuilder, Word};
+
+/// Select operand B: the register value or the extended immediate.
+pub fn operand_b(
+    b: &mut NetlistBuilder,
+    rt_val: &Word,
+    imm: &Word,
+    use_imm: Net,
+    imm_zext: Net,
+) -> Word {
+    assert_eq!(imm.len(), 16);
+    b.begin_component("BMUX");
+    let zero = b.zero();
+    let sign = b.mux2(imm_zext, imm[15], zero);
+    let ext: Word = (0..32)
+        .map(|i| if i < 16 { imm[i] } else { sign })
+        .collect();
+    let out = b.mux2_word(use_imm, rt_val, &ext);
+    b.end_component();
+    out
+}
+
+/// Select the shift amount: the shamt field or `rs[4:0]`.
+pub fn shamt_mux(b: &mut NetlistBuilder, shamt_field: &Word, rs_val: &Word, var: Net) -> Word {
+    b.begin_component("BMUX");
+    let out = b.mux2_word(var, shamt_field, &rs_val[0..5]);
+    b.end_component();
+    out
+}
+
+/// Result-bus sources for the EX write-back mux.
+pub struct ResultSources {
+    /// ALU result (select 0/also the default).
+    pub alu: Word,
+    /// Shifter result (select 1).
+    pub shift: Word,
+    /// `LO` (select 2).
+    pub lo: Word,
+    /// `HI` (select 3).
+    pub hi: Word,
+    /// Link value `EPC + 8` (select 4).
+    pub link: Word,
+    /// `LUI` value `imm << 16` (select 5).
+    pub lui: Word,
+}
+
+/// Select the EX result from the six sources (3-bit select).
+///
+/// Built as a 4-way tree for selects 0–3 plus a 2-way for 4–5, combined
+/// on the top select bit — no dead padding entries, exactly what
+/// synthesis produces for a 6-entry case statement.
+pub fn result_mux(
+    b: &mut NetlistBuilder,
+    style: TechStyle,
+    sel: &[Net; 3],
+    src: &ResultSources,
+) -> Word {
+    b.begin_component("BMUX");
+    let low_items = vec![
+        src.alu.clone(),
+        src.shift.clone(),
+        src.lo.clone(),
+        src.hi.clone(),
+    ];
+    let low = synth::select(b, style, &sel[0..2], &low_items);
+    let high = b.mux2_word(sel[0], &src.link, &src.lui);
+    let out = b.mux2_word(sel[2], &low, &high);
+    b.end_component();
+    out
+}
+
+/// The register-file write port selection: EX result vs load data,
+/// EX destination vs the latched load destination, and the write enable.
+pub struct WritePort {
+    /// Write address.
+    pub waddr: Word,
+    /// Write data.
+    pub wdata: Word,
+    /// Write enable.
+    pub wen: Net,
+}
+
+/// Build the write-back port muxes.
+///
+/// * `state`: bus FSM state (1 = M),
+/// * `ex_*`: the EX-stage result/destination/write-enable (already gated
+///   by stall),
+/// * `load_*`: the M-stage load data/destination/flag.
+#[allow(clippy::too_many_arguments)]
+pub fn write_port(
+    b: &mut NetlistBuilder,
+    state: Net,
+    ex_result: &Word,
+    ex_dst: &Word,
+    ex_wen: Net,
+    load_data: &Word,
+    load_dst: &Word,
+    load_wen: Net,
+) -> WritePort {
+    b.begin_component("BMUX");
+    let waddr = b.mux2_word(state, ex_dst, load_dst);
+    let wdata = b.mux2_word(state, ex_result, load_data);
+    let wen = b.mux2(state, ex_wen, load_wen);
+    b.end_component();
+    WritePort { waddr, wdata, wen }
+}
+
+/// Destination-register selection in EX: `rd` (R-type), `rt` (I-type) or
+/// `$31` (link instructions).
+pub fn dst_mux(
+    b: &mut NetlistBuilder,
+    rd: &Word,
+    rt: &Word,
+    dst_is_rd: Net,
+    dst_is_31: Net,
+) -> Word {
+    b.begin_component("BMUX");
+    let one = b.one();
+    let r31: Word = vec![one; 5];
+    let rd_or_rt = b.mux2_word(dst_is_rd, rt, rd);
+    let out = b.mux2_word(dst_is_31, &rd_or_rt, &r31);
+    b.end_component();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::sim::Simulator;
+
+    #[test]
+    fn operand_b_extension_modes() {
+        let mut b = NetlistBuilder::new("opb");
+        let rt = b.inputs("rt", 32);
+        let imm = b.inputs("imm", 16);
+        let use_imm = b.input("use_imm");
+        let zext = b.input("zext");
+        let out = operand_b(&mut b, &rt, &imm, use_imm, zext);
+        b.outputs("out", &out);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input_word(&nl, "rt", 0x1234_5678);
+        sim.set_input_word(&nl, "imm", 0x8001);
+        sim.set_input_word(&nl, "use_imm", 0);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "out"), 0x1234_5678);
+        sim.set_input_word(&nl, "use_imm", 1);
+        sim.set_input_word(&nl, "zext", 0);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "out") as u32, 0xFFFF_8001);
+        sim.set_input_word(&nl, "zext", 1);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "out"), 0x8001);
+    }
+
+    #[test]
+    fn dst_mux_priorities() {
+        let mut b = NetlistBuilder::new("dst");
+        let rd = b.inputs("rd", 5);
+        let rt = b.inputs("rt", 5);
+        let is_rd = b.input("is_rd");
+        let is_31 = b.input("is_31");
+        let out = dst_mux(&mut b, &rd, &rt, is_rd, is_31);
+        b.outputs("out", &out);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input_word(&nl, "rd", 12);
+        sim.set_input_word(&nl, "rt", 7);
+        for (is_rd_v, is_31_v, want) in [(0u64, 0u64, 7u64), (1, 0, 12), (0, 1, 31), (1, 1, 31)] {
+            sim.set_input_word(&nl, "is_rd", is_rd_v);
+            sim.set_input_word(&nl, "is_31", is_31_v);
+            sim.eval(&nl);
+            assert_eq!(sim.output_word(&nl, "out"), want);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The memory controller (`MCTRL` component, control class).
+//!
+//! Owns the bus FSM (fetch vs data-access state), generates byte enables,
+//! aligns store data onto the byte lanes, gates the write-side bus
+//! outputs, and aligns/extends load data coming back.
+
+use netlist::synth;
+use netlist::{Net, NetlistBuilder, Word};
+
+/// EX-side outputs: what gets latched into the memory-stage pipeline
+/// registers.
+pub struct MemEx {
+    /// Store data replicated onto its byte lanes.
+    pub wdata: Word,
+    /// Byte enables for the access.
+    pub be: Word,
+}
+
+/// M-side outputs: the external bus and the load write-back value.
+pub struct MemBus {
+    /// Bus address (fetch PC in F state, data address in M state).
+    pub addr: Word,
+    /// Gated write data (zero unless writing).
+    pub wdata: Word,
+    /// Write enable.
+    pub we: Net,
+    /// Gated byte enables.
+    pub be: Word,
+    /// Aligned / sign-extended load result.
+    pub load_data: Word,
+}
+
+/// Build the EX-side alignment: `rt_val` is the value to store, `addr_lo`
+/// the two low address bits, `size_byte`/`size_half` the access size.
+pub fn memctrl_ex(
+    b: &mut NetlistBuilder,
+    rt_val: &Word,
+    addr_lo: &Word,
+    size_byte: Net,
+    size_half: Net,
+) -> MemEx {
+    assert_eq!(rt_val.len(), 32);
+    assert_eq!(addr_lo.len(), 2);
+    b.begin_component("MCTRL");
+
+    // Replicate the stored value across lanes: byte -> ×4, half -> ×2.
+    let byte = &rt_val[0..8];
+    let half = &rt_val[0..16];
+    let mut wdata = Vec::with_capacity(32);
+    for lane in 0..4 {
+        for bit in 0..8 {
+            let word_bit = rt_val[lane * 8 + bit];
+            let half_bit = half[(lane % 2) * 8 + bit];
+            let byte_bit = byte[bit];
+            let h = b.mux2(size_half, word_bit, half_bit);
+            let v = b.mux2(size_byte, h, byte_bit);
+            wdata.push(v);
+        }
+    }
+
+    // Byte enables.
+    let one = b.one();
+    let lane_dec = synth::decoder(b, addr_lo); // one-hot over addr[1:0]
+    let upper_half = addr_lo[1];
+    let lower_half = b.not(upper_half);
+    let be: Word = (0..4)
+        .map(|lane| {
+            let half_en = if lane < 2 { lower_half } else { upper_half };
+            let h = b.mux2(size_half, one, half_en);
+            b.mux2(size_byte, h, lane_dec[lane])
+        })
+        .collect();
+
+    b.end_component();
+    MemEx { wdata, be }
+}
+
+/// Memory-stage register values feeding the M side.
+pub struct MemStageRegs {
+    /// Latched data address.
+    pub maddr: Word,
+    /// Latched lane-replicated store data.
+    pub mwdata: Word,
+    /// Latched write flag.
+    pub mwe: Net,
+    /// Latched byte enables.
+    pub mbe: Word,
+    /// Latched byte-size flag.
+    pub msize_byte: Net,
+    /// Latched half-size flag.
+    pub msize_half: Net,
+    /// Latched load sign-extension flag.
+    pub msigned: Net,
+}
+
+/// Build the M-side bus logic and the load aligner.
+pub fn memctrl_bus(
+    b: &mut NetlistBuilder,
+    state: Net,
+    pc_addr: &Word,
+    regs: &MemStageRegs,
+    rdata: &Word,
+) -> MemBus {
+    assert_eq!(pc_addr.len(), 32);
+    assert_eq!(rdata.len(), 32);
+    b.begin_component("MCTRL");
+    let zero = b.zero();
+
+    let addr = b.mux2_word(state, pc_addr, &regs.maddr);
+    let we = b.and2(state, regs.mwe);
+    // Gate write-side outputs so the bus is fully defined every cycle.
+    let wdata = b.gate_word(&regs.mwdata, we);
+    let be = b.gate_word(&regs.mbe, we);
+
+    // ---- load aligner ----------------------------------------------------
+    // Select the addressed byte / half.
+    let a0 = regs.maddr[0];
+    let a1 = regs.maddr[1];
+    let half_sel: Word = (0..16)
+        .map(|i| b.mux2(a1, rdata[i], rdata[16 + i]))
+        .collect();
+    let byte_sel: Word = (0..8)
+        .map(|i| b.mux2(a0, half_sel[i], half_sel[8 + i]))
+        .collect();
+    let sign_h = b.and2(regs.msigned, half_sel[15]);
+    let sign_b = b.and2(regs.msigned, byte_sel[7]);
+    let load_data: Word = (0..32)
+        .map(|i| {
+            // Word view / half view / byte view of bit i.
+            let half_bit = if i < 16 { half_sel[i] } else { sign_h };
+            let byte_bit = if i < 8 { byte_sel[i] } else { sign_b };
+            let h = b.mux2(regs.msize_half, rdata[i], half_bit);
+            b.mux2(regs.msize_byte, h, byte_bit)
+        })
+        .collect();
+    let _ = zero;
+
+    b.end_component();
+    MemBus {
+        addr,
+        wdata,
+        we,
+        be,
+        load_data,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::sim::Simulator;
+
+    #[test]
+    fn store_alignment_and_byte_enables() {
+        let mut b = NetlistBuilder::new("mex");
+        let rt = b.inputs("rt", 32);
+        let lo = b.inputs("lo", 2);
+        let sb = b.input("sb");
+        let sh = b.input("sh");
+        let ex = memctrl_ex(&mut b, &rt, &lo, sb, sh);
+        b.outputs("wdata", &ex.wdata);
+        b.outputs("be", &ex.be);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input_word(&nl, "rt", 0xAABB_CCDD);
+        // Word store.
+        sim.set_input_word(&nl, "sb", 0);
+        sim.set_input_word(&nl, "sh", 0);
+        sim.set_input_word(&nl, "lo", 0);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "wdata"), 0xAABB_CCDD);
+        assert_eq!(sim.output_word(&nl, "be"), 0b1111);
+        // Byte store at offset 2: byte replicated, be = 0100.
+        sim.set_input_word(&nl, "sb", 1);
+        sim.set_input_word(&nl, "lo", 2);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "wdata"), 0xDDDD_DDDD);
+        assert_eq!(sim.output_word(&nl, "be"), 0b0100);
+        // Half store at offset 2: halves replicated, be = 1100.
+        sim.set_input_word(&nl, "sb", 0);
+        sim.set_input_word(&nl, "sh", 1);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "wdata"), 0xCCDD_CCDD);
+        assert_eq!(sim.output_word(&nl, "be"), 0b1100);
+    }
+
+    #[test]
+    fn load_aligner_extends_correctly() {
+        let mut b = NetlistBuilder::new("mbus");
+        let state = b.input("state");
+        let pc = b.inputs("pc", 32);
+        let maddr = b.inputs("maddr", 32);
+        let mwdata = b.inputs("mwdata", 32);
+        let mwe = b.input("mwe");
+        let mbe = b.inputs("mbe", 4);
+        let msb = b.input("msb");
+        let msh = b.input("msh");
+        let msg = b.input("msg");
+        let rdata = b.inputs("rdata", 32);
+        let regs = MemStageRegs {
+            maddr,
+            mwdata,
+            mwe,
+            mbe,
+            msize_byte: msb,
+            msize_half: msh,
+            msigned: msg,
+        };
+        let bus = memctrl_bus(&mut b, state, &pc, &regs, &rdata);
+        b.outputs("addr", &bus.addr);
+        b.outputs("ld", &bus.load_data);
+        b.output("we", bus.we);
+        b.outputs("wdata", &bus.wdata);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.set_input_word(&nl, "rdata", 0x80FF_7F01);
+        sim.set_input_word(&nl, "state", 1);
+        // lb at offset 3 -> 0x80 sign-extended.
+        sim.set_input_word(&nl, "maddr", 3);
+        sim.set_input_word(&nl, "msb", 1);
+        sim.set_input_word(&nl, "msh", 0);
+        sim.set_input_word(&nl, "msg", 1);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "ld") as u32, 0xFFFF_FF80);
+        // lbu at offset 2 -> 0xFF zero-extended.
+        sim.set_input_word(&nl, "maddr", 2);
+        sim.set_input_word(&nl, "msg", 0);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "ld"), 0xFF);
+        // lh at offset 2 -> 0x80FF sign-extended.
+        sim.set_input_word(&nl, "msb", 0);
+        sim.set_input_word(&nl, "msh", 1);
+        sim.set_input_word(&nl, "msg", 1);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "ld") as u32, 0xFFFF_80FF);
+        // lw.
+        sim.set_input_word(&nl, "msh", 0);
+        sim.set_input_word(&nl, "msg", 0);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "ld") as u32, 0x80FF_7F01);
+
+        // Bus gating: write data must be zero when not writing.
+        sim.set_input_word(&nl, "mwdata", 0xFFFF_FFFF);
+        sim.set_input_word(&nl, "mwe", 0);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "we"), 0);
+        assert_eq!(sim.output_word(&nl, "wdata"), 0);
+        // Address mux follows the state.
+        sim.set_input_word(&nl, "pc", 0x1000);
+        sim.set_input_word(&nl, "state", 0);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "addr"), 0x1000);
+    }
+}

@@ -1,0 +1,15 @@
+//! Structural builders for the core's RT-level components.
+//!
+//! Each function opens its component scope on the shared
+//! [`netlist::NetlistBuilder`], emits its gates, and returns the wires the
+//! top level needs. The component decomposition matches the paper's
+//! Table 2.
+
+pub mod alu;
+pub mod busmux;
+pub mod control;
+pub mod memctrl;
+pub mod muldiv;
+pub mod pcl;
+pub mod regfile;
+pub mod shifter;

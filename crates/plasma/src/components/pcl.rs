@@ -1,0 +1,166 @@
+//! The program-counter logic (`PCL` component, control class).
+//!
+//! Holds the PC register (word-aligned, bits [31:2] only) and selects the
+//! next PC. Like the original Plasma `pc_next` block it exploits the
+//! pipeline timing: while a branch executes, `PC` already points at its
+//! delay slot, so
+//!
+//! * the branch target is `PC + sign_extended(imm)` (word-granular),
+//! * the `jal`/`jalr`/`bltzal`/`bgezal` link value is `PC + 4` — the same
+//!   incrementer output that feeds sequential fetch,
+//! * the jump target splices the index field under `PC[31:28]`.
+//!
+//! One adder and one incrementer, total — a branch *in a delay slot*
+//! would see a stale base, which MIPS I declares unpredictable anyway.
+
+use netlist::synth::{self, TechStyle};
+use netlist::{Net, NetlistBuilder, Word};
+
+/// Wires out of the PC logic.
+pub struct PclOut {
+    /// Current fetch address as a full 32-bit byte address (bits 1:0 are
+    /// tie-low).
+    pub pc_addr: Word,
+    /// Link value (`PC + 4`, i.e. `EPC + 8` of the linking instruction).
+    pub link: Word,
+}
+
+/// Control inputs for next-PC selection.
+pub struct PclCtrl {
+    /// Advance the PC this cycle (false during M state and stalls).
+    pub pc_we: Net,
+    /// Branch taken.
+    pub taken: Net,
+    /// `j`/`jal`.
+    pub is_jump: Net,
+    /// `jr`/`jalr`.
+    pub is_jr: Net,
+}
+
+/// Build the PC logic.
+///
+/// * `imm`: 16-bit immediate field (word-granular branch offset),
+/// * `target`: 26-bit jump index field,
+/// * `rs_val`: register value for `jr`/`jalr`.
+pub fn pcl(
+    b: &mut NetlistBuilder,
+    style: TechStyle,
+    ctrl: &PclCtrl,
+    imm: &Word,
+    target: &Word,
+    rs_val: &Word,
+) -> PclOut {
+    assert_eq!(imm.len(), 16);
+    assert_eq!(target.len(), 26);
+    assert_eq!(rs_val.len(), 32);
+    b.begin_component("PCL");
+    let zero = b.zero();
+
+    let (pc_w, pc_slots) = b.dff_word_later(30, 0);
+
+    // Sequential address / link value.
+    let (pc_plus1, _) = synth::inc(b, &pc_w);
+
+    // Branch target: pc + sign-extended immediate (word-granular).
+    let sext: Word = (0..30)
+        .map(|i| if i < 16 { imm[i] } else { imm[15] })
+        .collect();
+    let btarget = synth::add(b, style, &pc_w, &sext, zero).sum;
+
+    // Jump target: {pc[31:28], target}.
+    let mut jtarget: Word = target.to_vec();
+    jtarget.extend_from_slice(&pc_w[26..30]);
+
+    // Register target: rs with the byte offset dropped.
+    let rtarget: Word = rs_val[2..32].to_vec();
+
+    // Priority select: taken > jump > jr > sequential.
+    let jr_or_seq = b.mux2_word(ctrl.is_jr, &pc_plus1, &rtarget);
+    let jmp_or = b.mux2_word(ctrl.is_jump, &jr_or_seq, &jtarget);
+    let next = b.mux2_word(ctrl.taken, &jmp_or, &btarget);
+    let pc_next = b.mux2_word(ctrl.pc_we, &pc_w, &next);
+    b.dff_word_set(pc_slots, &pc_next);
+
+    let mut pc_addr: Word = vec![zero, zero];
+    pc_addr.extend_from_slice(&pc_w);
+    let mut link: Word = vec![zero, zero];
+    link.extend_from_slice(&pc_plus1);
+
+    b.end_component();
+    PclOut { pc_addr, link }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::sim::Simulator;
+
+    #[test]
+    fn pc_sequencing_and_targets() {
+        let mut b = NetlistBuilder::new("pcl");
+        let pc_we = b.input("pc_we");
+        let taken = b.input("taken");
+        let is_jump = b.input("is_jump");
+        let is_jr = b.input("is_jr");
+        let imm = b.inputs("imm", 16);
+        let target = b.inputs("target", 26);
+        let rs = b.inputs("rs", 32);
+        let ctrl = PclCtrl {
+            pc_we,
+            taken,
+            is_jump,
+            is_jr,
+        };
+        let out = pcl(&mut b, TechStyle::RippleMux, &ctrl, &imm, &target, &rs);
+        b.outputs("pc", &out.pc_addr);
+        b.outputs("link", &out.link);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl);
+        sim.reset(&nl);
+
+        // Sequential advance.
+        sim.set_input_word(&nl, "pc_we", 1);
+        sim.set_input_word(&nl, "taken", 0);
+        sim.set_input_word(&nl, "is_jump", 0);
+        sim.set_input_word(&nl, "is_jr", 0);
+        for want in [0u64, 4, 8, 12] {
+            sim.eval(&nl);
+            assert_eq!(sim.output_word(&nl, "pc"), want);
+            assert_eq!(sim.output_word(&nl, "link"), want + 4);
+            sim.clock(&nl);
+        }
+        // Hold.
+        sim.set_input_word(&nl, "pc_we", 0);
+        sim.eval(&nl);
+        sim.clock(&nl);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "pc"), 16);
+
+        // Branch: pc=16 (delay-slot address), imm=-4 -> target = 0.
+        sim.set_input_word(&nl, "pc_we", 1);
+        sim.set_input_word(&nl, "taken", 1);
+        sim.set_input_word(&nl, "imm", (-4i16 as u16) as u64);
+        sim.eval(&nl);
+        sim.clock(&nl);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "pc"), 16 - 16);
+
+        // Jump: target field 0x30 -> 0xC0 (upper bits from pc).
+        sim.set_input_word(&nl, "taken", 0);
+        sim.set_input_word(&nl, "is_jump", 1);
+        sim.set_input_word(&nl, "target", 0x30);
+        sim.eval(&nl);
+        sim.clock(&nl);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "pc"), 0x30 << 2);
+
+        // jr: unaligned bits dropped.
+        sim.set_input_word(&nl, "is_jump", 0);
+        sim.set_input_word(&nl, "is_jr", 1);
+        sim.set_input_word(&nl, "rs", 0xDEAD_BEEF);
+        sim.eval(&nl);
+        sim.clock(&nl);
+        sim.eval(&nl);
+        assert_eq!(sim.output_word(&nl, "pc"), 0xDEAD_BEEF & !3);
+    }
+}

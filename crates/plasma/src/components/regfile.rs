@@ -1,0 +1,80 @@
+//! The register file (`RegF` component, functional class) — the largest
+//! component of the processor, just as in the paper's Table 3.
+
+use netlist::synth::{self, TechStyle};
+use netlist::{Net, NetlistBuilder, Word};
+
+/// Build the 32×32 register file with `$0` hardwired to zero, two
+/// asynchronous read ports and one write port.
+pub fn regfile(
+    b: &mut NetlistBuilder,
+    style: TechStyle,
+    waddr: &Word,
+    wdata: &Word,
+    wen: Net,
+    raddr1: &Word,
+    raddr2: &Word,
+) -> (Word, Word) {
+    b.begin_component("RegF");
+    let out = synth::register_file(b, style, 5, 32, true, waddr, wdata, wen, raddr1, raddr2);
+    b.end_component();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::sim::Simulator;
+
+    #[test]
+    fn full_register_file_walk() {
+        let mut b = NetlistBuilder::new("rf32");
+        let waddr = b.inputs("waddr", 5);
+        let wdata = b.inputs("wdata", 32);
+        let wen = b.input("wen");
+        let ra1 = b.inputs("ra1", 5);
+        let ra2 = b.inputs("ra2", 5);
+        let (r1, r2) = regfile(
+            &mut b,
+            TechStyle::RippleMux,
+            &waddr,
+            &wdata,
+            wen,
+            &ra1,
+            &ra2,
+        );
+        b.outputs("r1", &r1);
+        b.outputs("r2", &r2);
+        let nl = b.finish().unwrap();
+        // Size sanity: the register file must dominate the design, on the
+        // order of the paper's 9,906 NAND2 units.
+        let stats = nl.component_stats();
+        let rf = stats.iter().find(|s| s.name == "RegF").unwrap();
+        assert!(
+            rf.nand2_equiv > 6000.0 && rf.nand2_equiv < 20000.0,
+            "unexpected RegF size {}",
+            rf.nand2_equiv
+        );
+
+        let mut sim = Simulator::new(&nl);
+        sim.reset(&nl);
+        for i in 0..32u64 {
+            sim.set_input_word(&nl, "waddr", i);
+            sim.set_input_word(&nl, "wdata", 0xA000_0000 + i * 17);
+            sim.set_input_word(&nl, "wen", 1);
+            sim.eval(&nl);
+            sim.clock(&nl);
+        }
+        sim.set_input_word(&nl, "wen", 0);
+        for i in 0..32u64 {
+            sim.set_input_word(&nl, "ra1", i);
+            sim.set_input_word(&nl, "ra2", 31 - i);
+            sim.eval(&nl);
+            let want1 = if i == 0 { 0 } else { 0xA000_0000 + i * 17 };
+            let j = 31 - i;
+            let want2 = if j == 0 { 0 } else { 0xA000_0000 + j * 17 };
+            assert_eq!(sim.output_word(&nl, "r1"), want1, "port1 reg {i}");
+            assert_eq!(sim.output_word(&nl, "r2"), want2, "port2 reg {j}");
+        }
+    }
+}

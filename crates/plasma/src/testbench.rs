@@ -1,0 +1,341 @@
+//! Testbenches around the gate-level core: a scalar one for functional
+//! runs and co-simulation, and a 64-lane one for fault-simulation
+//! campaigns.
+
+use std::collections::HashMap;
+
+use fault::campaign::Testbench;
+use fault::sim::ParallelSim;
+use mips::iss::{Bus, BusCycle, Memory};
+use mips::Program;
+use netlist::sim::Simulator;
+
+use crate::PlasmaCore;
+
+/// The gate-level CPU with an attached memory — the scalar, fault-free
+/// testbench used for functional verification and ISS lock-step runs.
+pub struct GateCpu<'a> {
+    core: &'a PlasmaCore,
+    sim: Simulator,
+    mem: Memory,
+    cycles: u64,
+}
+
+impl<'a> GateCpu<'a> {
+    /// Create the testbench with `mem_bytes` of RAM, CPU in reset.
+    pub fn new(core: &'a PlasmaCore, mem_bytes: usize) -> GateCpu<'a> {
+        let mut sim = Simulator::new(core.netlist());
+        sim.reset(core.netlist());
+        GateCpu {
+            core,
+            sim,
+            mem: Memory::new(mem_bytes),
+            cycles: 0,
+        }
+    }
+
+    /// Load a program image into memory.
+    pub fn load_program(&mut self, program: &Program) {
+        self.mem.load_program(program);
+    }
+
+    /// Read a memory word (for checking results).
+    pub fn read_word(&self, addr: u32) -> u32 {
+        self.mem.read_word(addr)
+    }
+
+    /// Write a memory word (for seeding test data).
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        self.mem.write_word(addr, value);
+    }
+
+    /// Total cycles executed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Execute one clock cycle and return the bus transaction.
+    pub fn cycle(&mut self) -> BusCycle {
+        let nl = self.core.netlist();
+        let [early, late] = self.core.segments();
+        self.sim.eval_segment(nl, early);
+        let addr = self.sim.output_word(nl, "mem_addr") as u32;
+        let we = self.sim.output_word(nl, "mem_we") == 1;
+        let be = self.sim.output_word(nl, "mem_be") as u8;
+        let wdata = self.sim.output_word(nl, "mem_wdata") as u32;
+        let rdata = self.mem.access(addr, wdata, we, be);
+        self.sim.set_input_word(nl, "mem_rdata", rdata as u64);
+        self.sim.eval_segment(nl, late);
+        self.sim.clock(nl);
+        self.cycles += 1;
+        BusCycle {
+            addr,
+            wdata,
+            we,
+            be,
+            rdata,
+        }
+    }
+
+    /// Run `n` cycles, returning the bus trace.
+    pub fn run(&mut self, n: u64) -> Vec<BusCycle> {
+        (0..n).map(|_| self.cycle()).collect()
+    }
+
+    /// Run until the end-of-test mailbox store (see
+    /// [`mips::iss::Iss::run_until_store`]) or `max_cycles`.
+    pub fn run_until_store(&mut self, addr: u32, marker: u32, max_cycles: u64) -> Vec<BusCycle> {
+        let mut trace = Vec::new();
+        for _ in 0..max_cycles {
+            let c = self.cycle();
+            let done = c.we && c.addr == addr && c.be == 0b1111 && c.wdata == marker;
+            trace.push(c);
+            if done {
+                break;
+            }
+        }
+        trace
+    }
+}
+
+/// The 64-lane fault-simulation testbench: every lane is an independent
+/// faulty processor with its own memory image (shared base + per-lane
+/// write overlay). Divergence of the observed bus outputs from lane 0 is
+/// the detection criterion — exactly what an external tester on the CPU
+/// bus sees (paper, Figure 1).
+pub struct SelfTestBench<'a> {
+    core: &'a PlasmaCore,
+    base: Vec<u32>,
+    mask: usize,
+    overlays: Vec<HashMap<u32, u32>>,
+    budget: u64,
+    rdata_scratch: [u64; 64],
+    bits_scratch: Vec<u64>,
+}
+
+impl<'a> SelfTestBench<'a> {
+    /// Create the bench: the program is preloaded into the shared base
+    /// image; `budget` is the per-batch cycle count (golden run length
+    /// plus margin).
+    pub fn new(
+        core: &'a PlasmaCore,
+        program: &Program,
+        mem_bytes: usize,
+        budget: u64,
+    ) -> SelfTestBench<'a> {
+        let words = (mem_bytes.max(16) / 4).next_power_of_two();
+        let mut base = vec![0u32; words];
+        for (k, &w) in program.words.iter().enumerate() {
+            base[((program.base as usize >> 2) + k) & (words - 1)] = w;
+        }
+        SelfTestBench {
+            core,
+            base,
+            mask: words - 1,
+            overlays: (0..64).map(|_| HashMap::new()).collect(),
+            budget,
+            rdata_scratch: [0; 64],
+            bits_scratch: Vec::new(),
+        }
+    }
+
+    fn read(&self, lane: usize, addr: u32) -> u32 {
+        let i = (addr >> 2) & self.mask as u32;
+        match self.overlays[lane].get(&i) {
+            Some(&v) => v,
+            None => self.base[i as usize],
+        }
+    }
+
+    fn write(&mut self, lane: usize, addr: u32, wdata: u32, be: u8) {
+        let i = (addr >> 2) & self.mask as u32;
+        let old = match self.overlays[lane].get(&i) {
+            Some(&v) => v,
+            None => self.base[i as usize],
+        };
+        let mut m = 0u32;
+        for b in 0..4 {
+            if be & (1 << b) != 0 {
+                m |= 0xFF << (8 * b);
+            }
+        }
+        self.overlays[lane].insert(i, (old & !m) | (wdata & m));
+    }
+}
+
+impl Testbench for SelfTestBench<'_> {
+    fn begin(&mut self, _sim: &mut ParallelSim) {
+        for o in &mut self.overlays {
+            o.clear();
+        }
+    }
+
+    fn step(&mut self, sim: &mut ParallelSim, _cycle: u64) -> u64 {
+        let nl = self.core.netlist();
+        sim.eval_segment(0);
+
+        let addr_nets = nl.port("mem_addr");
+        let wdata_nets = nl.port("mem_wdata");
+        let we_net = nl.port("mem_we")[0];
+        let be_nets = nl.port("mem_be");
+        let we_lanes = sim.net_lanes(we_net);
+        for lane in 0..64 {
+            let addr = sim.lane_word(addr_nets, lane) as u32;
+            if (we_lanes >> lane) & 1 == 1 {
+                let wdata = sim.lane_word(wdata_nets, lane) as u32;
+                let be = sim.lane_word(be_nets, lane) as u8;
+                self.write(lane, addr, wdata, be);
+                // A store cycle still returns the (old) word on the bus.
+                self.rdata_scratch[lane] = self.read(lane, addr) as u64;
+            } else {
+                self.rdata_scratch[lane] = self.read(lane, addr) as u64;
+            }
+        }
+
+        fault::sim::transpose_lanes(&self.rdata_scratch, 32, &mut self.bits_scratch);
+        sim.set_port_bits(nl, "mem_rdata", &self.bits_scratch);
+        sim.eval_segment(1);
+        let diff = sim.diff_vs_lane0(self.core.observed_outputs());
+        sim.clock();
+        diff
+    }
+
+    fn cycles(&self) -> u64 {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlasmaConfig, PlasmaCore};
+    use mips::asm::assemble;
+
+    fn core() -> PlasmaCore {
+        PlasmaCore::build(PlasmaConfig::default())
+    }
+
+    #[test]
+    fn gate_cpu_runs_arithmetic() {
+        let core = core();
+        let p = assemble(
+            r#"
+                li   $t0, 1000
+                li   $t1, -58
+                addu $t2, $t0, $t1
+                sw   $t2, 0x200($zero)
+                slt  $t3, $t1, $t0
+                sw   $t3, 0x204($zero)
+            stop: b stop
+                nop
+            "#,
+        )
+        .unwrap();
+        let mut cpu = GateCpu::new(&core, 4096);
+        cpu.load_program(&p);
+        cpu.run(40);
+        assert_eq!(cpu.read_word(0x200), 942);
+        assert_eq!(cpu.read_word(0x204), 1);
+    }
+
+    #[test]
+    fn gate_cpu_branches_and_loops() {
+        // Sum 1..=10 with a loop.
+        let core = core();
+        let p = assemble(
+            r#"
+                li   $t0, 10
+                li   $t1, 0
+            loop:
+                addu $t1, $t1, $t0
+                addiu $t0, $t0, -1
+                bnez $t0, loop
+                nop
+                sw   $t1, 0x100($zero)
+            stop: b stop
+                nop
+            "#,
+        )
+        .unwrap();
+        let mut cpu = GateCpu::new(&core, 4096);
+        cpu.load_program(&p);
+        cpu.run(100);
+        assert_eq!(cpu.read_word(0x100), 55);
+    }
+
+    #[test]
+    fn gate_cpu_memory_ops() {
+        let core = core();
+        let p = assemble(
+            r#"
+                li  $t0, 0x80FF7F01
+                sw  $t0, 0x300($zero)
+                lb  $s0, 0x303($zero)
+                sb  $s0, 0x304($zero)
+                lhu $s1, 0x302($zero)
+                sw  $s1, 0x308($zero)
+            stop: b stop
+                nop
+            "#,
+        )
+        .unwrap();
+        let mut cpu = GateCpu::new(&core, 4096);
+        cpu.load_program(&p);
+        cpu.run(60);
+        assert_eq!(cpu.read_word(0x304) & 0xFF, 0x80);
+        assert_eq!(cpu.read_word(0x308), 0x80FF);
+    }
+
+    #[test]
+    fn gate_cpu_mult_div() {
+        let core = core();
+        let p = assemble(
+            r#"
+                li   $t0, -6
+                li   $t1, 7
+                mult $t0, $t1
+                mflo $t2
+                sw   $t2, 0x100($zero)
+                li   $t3, 100
+                li   $t4, 7
+                divu $t3, $t4
+                mflo $t5
+                mfhi $t6
+                sw   $t5, 0x104($zero)
+                sw   $t6, 0x108($zero)
+            stop: b stop
+                nop
+            "#,
+        )
+        .unwrap();
+        let mut cpu = GateCpu::new(&core, 4096);
+        cpu.load_program(&p);
+        cpu.run(200);
+        assert_eq!(cpu.read_word(0x100) as i32, -42);
+        assert_eq!(cpu.read_word(0x104), 14);
+        assert_eq!(cpu.read_word(0x108), 2);
+    }
+
+    #[test]
+    fn gate_cpu_jal_jr() {
+        let core = core();
+        let p = assemble(
+            r#"
+                jal  f
+                nop
+                sw   $v0, 0x100($zero)
+            stop: b stop
+                nop
+            f:
+                li   $v0, 321
+                jr   $ra
+                nop
+            "#,
+        )
+        .unwrap();
+        let mut cpu = GateCpu::new(&core, 4096);
+        cpu.load_program(&p);
+        cpu.run(60);
+        assert_eq!(cpu.read_word(0x100), 321);
+    }
+}

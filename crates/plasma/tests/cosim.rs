@@ -1,0 +1,229 @@
+//! Lock-step co-simulation of the gate-level core against the
+//! cycle-accurate ISS — the enforcement of the shared microarchitectural
+//! contract (see the `mips` crate docs).
+//!
+//! Every cycle, both models must produce the *identical* bus transaction:
+//! address, write data, write enable and byte enables. This is the same
+//! observation a tester has of the real chip, so trace equality here means
+//! the golden references used by the fault-simulation campaigns agree.
+
+use mips::asm::assemble;
+use mips::gen::{random_program, GenConfig};
+use mips::iss::{Iss, Memory};
+use mips::Program;
+use plasma::testbench::GateCpu;
+use plasma::{PlasmaConfig, PlasmaCore};
+
+fn cosim(core: &PlasmaCore, program: &Program, cycles: u64, what: &str) {
+    let mut iss = Iss::new();
+    let mut iss_mem = Memory::new(16 * 1024);
+    iss_mem.load_program(program);
+    let mut gate = GateCpu::new(core, 16 * 1024);
+    gate.load_program(program);
+    for c in 0..cycles {
+        let want = iss.cycle(&mut iss_mem);
+        let got = gate.cycle();
+        assert_eq!(
+            (got.addr, got.we, got.be, got.wdata),
+            (want.addr, want.we, want.be, want.wdata),
+            "{what}: bus divergence at cycle {c}: gate {got:x?} vs iss {want:x?}"
+        );
+    }
+    // Memory images must agree at the end as well.
+    for addr in (0..16 * 1024u32).step_by(4) {
+        assert_eq!(
+            gate.read_word(addr),
+            iss_mem.read_word(addr),
+            "{what}: memory mismatch at {addr:#x}"
+        );
+    }
+}
+
+#[test]
+fn directed_programs_lockstep() {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let programs: &[(&str, &str)] = &[
+        (
+            "alu-mix",
+            r#"
+                li   $t0, 0x1234ABCD
+                li   $t1, -77
+                addu $t2, $t0, $t1
+                subu $t3, $t0, $t1
+                and  $t4, $t0, $t1
+                or   $t5, $t0, $t1
+                xor  $t6, $t0, $t1
+                nor  $t7, $t0, $t1
+                slt  $s0, $t0, $t1
+                sltu $s1, $t0, $t1
+                sw   $t2, 0x100($zero)
+                sw   $t7, 0x104($zero)
+                sw   $s0, 0x108($zero)
+            stop: b stop
+                nop
+            "#,
+        ),
+        (
+            "shift-mix",
+            r#"
+                li   $t0, 0x80000001
+                sll  $t1, $t0, 1
+                srl  $t2, $t0, 1
+                sra  $t3, $t0, 1
+                li   $t4, 31
+                sllv $t5, $t0, $t4
+                srlv $t6, $t0, $t4
+                srav $t7, $t0, $t4
+                sw   $t3, 0x100($zero)
+                sw   $t7, 0x104($zero)
+            stop: b stop
+                nop
+            "#,
+        ),
+        (
+            "mem-mix",
+            r#"
+                li  $t0, 0xA1B2C3D4
+                sw  $t0, 0x200($zero)
+                lb  $t1, 0x201($zero)
+                lbu $t2, 0x203($zero)
+                lh  $t3, 0x202($zero)
+                lhu $t4, 0x200($zero)
+                sb  $t1, 0x210($zero)
+                sh  $t3, 0x214($zero)
+                sw  $t4, 0x218($zero)
+            stop: b stop
+                nop
+            "#,
+        ),
+        (
+            "muldiv-stalls",
+            r#"
+                li   $t0, -1234567
+                li   $t1, 891
+                mult $t0, $t1
+                mflo $t2
+                mfhi $t3
+                div  $t0, $t1
+                mflo $t4
+                mfhi $t5
+                multu $t0, $t1
+                mflo $t6        # mthi/mtlo while running is undefined —
+                                # covered separately with an idle unit
+                sw   $t2, 0x100($zero)
+                sw   $t5, 0x104($zero)
+            stop: b stop
+                nop
+            "#,
+        ),
+        (
+            "calls-and-branches",
+            r#"
+                li   $s0, 5
+                li   $s1, 0
+            loop:
+                jal  double
+                nop
+                addiu $s0, $s0, -1
+                bgtz $s0, loop
+                nop
+                sw   $s1, 0x100($zero)
+            stop: b stop
+                nop
+            double:
+                addu $s1, $s1, $s0
+                jr   $ra
+                addu $s1, $s1, $s0   # delay slot executes too
+            "#,
+        ),
+        (
+            "regimm-links",
+            r#"
+                li     $t0, -3
+                bltzal $t0, sub1
+                nop
+                li     $t1, 7
+                bgezal $t1, sub2
+                nop
+                sw     $s0, 0x100($zero)
+                sw     $s1, 0x104($zero)
+            stop: b stop
+                nop
+            sub1:
+                li  $s0, 0xAA
+                jr  $ra
+                nop
+            sub2:
+                li  $s1, 0xBB
+                jr  $ra
+                nop
+            "#,
+        ),
+    ];
+    for (name, src) in programs {
+        let p = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        cosim(&core, &p, 400, name);
+    }
+}
+
+/// The mtlo-while-running case above is actually *removed* from the
+/// directed test (see the comment in the source); this test pins down the
+/// defined-behaviour subset: mthi/mtlo with the unit idle.
+#[test]
+fn mthi_mtlo_idle_unit_lockstep() {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let p = assemble(
+        r#"
+            li   $t0, 0x13579BDF
+            mtlo $t0
+            mthi $t0
+            mflo $t1
+            mfhi $t2
+            sw   $t1, 0x100($zero)
+            sw   $t2, 0x104($zero)
+        stop: b stop
+            nop
+        "#,
+    )
+    .unwrap();
+    cosim(&core, &p, 60, "mthi-mtlo-idle");
+}
+
+#[test]
+fn random_programs_lockstep_style_a() {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let cfg = GenConfig::default();
+    for seed in 0..25u64 {
+        let p = random_program(seed, &cfg);
+        cosim(&core, &p, 900, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn random_programs_lockstep_style_b() {
+    use netlist::synth::TechStyle;
+    let core = PlasmaCore::build(PlasmaConfig {
+        style: TechStyle::ClaAoi,
+    });
+    let cfg = GenConfig::default();
+    for seed in 100..110u64 {
+        let p = random_program(seed, &cfg);
+        cosim(&core, &p, 900, &format!("styleB random seed {seed}"));
+    }
+}
+
+#[test]
+fn random_alu_only_programs_lockstep() {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let cfg = GenConfig {
+        with_mem: false,
+        with_muldiv: false,
+        with_branches: false,
+        body_len: 200,
+        ..Default::default()
+    };
+    for seed in 200..210u64 {
+        let p = random_program(seed, &cfg);
+        cosim(&core, &p, 900, &format!("alu-only seed {seed}"));
+    }
+}

@@ -1,0 +1,85 @@
+//! The test cost model: download time at the tester's (slow) frequency
+//! plus execution time at the processor's frequency.
+//!
+//! "Test time is primarily determined by the time required to download
+//! the test code to the processor memory at the tester's low frequency"
+//! — this module quantifies that argument and powers the comparisons in
+//! EXPERIMENTS.md.
+
+/// Clock assumptions for the cost model. The defaults mirror the paper's
+/// setting: a 66 MHz synthesized core and a slow external tester.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// External tester interface frequency in MHz (one word transferred
+    /// per tester clock).
+    pub tester_mhz: f64,
+    /// Processor core frequency in MHz.
+    pub cpu_mhz: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            tester_mhz: 10.0,
+            cpu_mhz: 66.0,
+        }
+    }
+}
+
+/// The cost of one self-test configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestCost {
+    /// Words downloaded (program + data).
+    pub words: usize,
+    /// Execution clock cycles.
+    pub cycles: u64,
+    /// Download time in microseconds.
+    pub download_us: f64,
+    /// Execution time in microseconds.
+    pub execute_us: f64,
+    /// Total test application time in microseconds.
+    pub total_us: f64,
+}
+
+impl CostModel {
+    /// Compute the cost of a test of `words` words executing for
+    /// `cycles` cycles.
+    pub fn cost(&self, words: usize, cycles: u64) -> TestCost {
+        let download_us = words as f64 / self.tester_mhz;
+        let execute_us = cycles as f64 / self.cpu_mhz;
+        TestCost {
+            words,
+            cycles,
+            download_us,
+            execute_us,
+            total_us: download_us + execute_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn download_dominates_for_slow_testers() {
+        // The paper's premise: at tester speeds well below the core
+        // clock, download time dominates for test programs whose cycle
+        // count is within an order of magnitude of their size.
+        let m = CostModel {
+            tester_mhz: 5.0,
+            cpu_mhz: 66.0,
+        };
+        let c = m.cost(1000, 3500);
+        assert!(c.download_us > c.execute_us);
+        assert!((c.total_us - (c.download_us + c.execute_us)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_scales_linearly() {
+        let m = CostModel::default();
+        let c1 = m.cost(100, 1000);
+        let c2 = m.cost(200, 2000);
+        assert!((c2.total_us / c1.total_us - 2.0).abs() < 1e-9);
+    }
+}

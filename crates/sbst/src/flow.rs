@@ -1,0 +1,166 @@
+//! The end-to-end evaluation flow: build the phase program, measure the
+//! golden run (Table 4), fault-simulate the processor executing its own
+//! self test (Table 5).
+
+use fault::campaign::{self, CampaignResult};
+use fault::coverage::CoverageReport;
+use fault::model::FaultList;
+use fault::sim::ParallelSim;
+use mips::iss::{Iss, Memory};
+use plasma::testbench::SelfTestBench;
+use plasma::PlasmaCore;
+
+use crate::cost::{CostModel, TestCost};
+use crate::phases::{build_program, Phase, SelfTestProgram};
+use crate::routines::{END_MARKER, MAILBOX};
+
+/// Size of the self-test memory image.
+pub const MEM_BYTES: usize = 64 * 1024;
+
+/// Options controlling a flow run.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Fault-sample target; `None` simulates the complete collapsed
+    /// fault list (slow but exact — used for the final tables).
+    pub fault_sample: Option<usize>,
+    /// Deterministic seed for sampling.
+    pub seed: u64,
+    /// Extra cycles granted to faulty machines beyond the golden run
+    /// length (divergence almost always appears long before the end).
+    pub cycle_margin: u64,
+    /// Tester/CPU clock assumptions.
+    pub cost_model: CostModel,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            fault_sample: Some(6000),
+            seed: 0xC0FFEE,
+            cycle_margin: 64,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// The result of one flow run: everything the paper's Tables 4 and 5
+/// report for one phase.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// The generated self-test program.
+    pub selftest: SelfTestProgram,
+    /// Golden execution length in clock cycles (Table 4).
+    pub golden_cycles: u64,
+    /// Tester-time cost (download + execution).
+    pub cost: TestCost,
+    /// Raw campaign result.
+    pub campaign: CampaignResult,
+    /// Per-component coverage (Table 5).
+    pub coverage: CoverageReport,
+}
+
+/// Measure the golden run length of a self-test program on the ISS.
+///
+/// Any program following the mailbox convention (storing [`END_MARKER`]
+/// to [`MAILBOX`] when done) can be measured — the baselines reuse this.
+///
+/// # Panics
+///
+/// Panics if the program never stores its end marker within a generous
+/// bound — that would be a broken self-test program, not a data error.
+pub fn golden_cycles_of(program: &mips::Program) -> u64 {
+    let mut mem = Memory::new(MEM_BYTES);
+    mem.load_program(program);
+    let mut cpu = Iss::new();
+    let trace = cpu.run_until_store(&mut mem, MAILBOX, END_MARKER, 2_000_000);
+    let last = trace.last().expect("nonempty trace");
+    assert!(
+        last.we && last.addr == MAILBOX && last.wdata == END_MARKER,
+        "self-test program never reached its end marker"
+    );
+    trace.len() as u64
+}
+
+/// [`golden_cycles_of`] for a generated phase program.
+pub fn golden_cycles(selftest: &SelfTestProgram) -> u64 {
+    golden_cycles_of(&selftest.program)
+}
+
+/// Prepare the (possibly sampled) collapsed fault list of a core.
+pub fn fault_list(core: &PlasmaCore, opts: &FlowOptions) -> FaultList {
+    let full = FaultList::extract(core.netlist()).collapsed(core.netlist());
+    match opts.fault_sample {
+        Some(n) => full.sample_stratified(n, opts.seed),
+        None => full,
+    }
+}
+
+/// Run a fault campaign of an arbitrary program over `faults` on `core`.
+pub fn run_campaign_of(
+    core: &PlasmaCore,
+    program: &mips::Program,
+    faults: &FaultList,
+    budget: u64,
+) -> CampaignResult {
+    let [early, late] = core.segments();
+    let mut sim = ParallelSim::with_segments(core.netlist(), &[early.to_vec(), late.to_vec()]);
+    let mut tb = SelfTestBench::new(core, program, MEM_BYTES, budget);
+    campaign::run(&mut sim, faults, &mut tb)
+}
+
+/// [`run_campaign_of`] for a generated phase program.
+pub fn run_campaign(
+    core: &PlasmaCore,
+    selftest: &SelfTestProgram,
+    faults: &FaultList,
+    budget: u64,
+) -> CampaignResult {
+    run_campaign_of(core, &selftest.program, faults, budget)
+}
+
+/// The full flow for one phase: generate, assemble, measure, grade.
+pub fn run_flow(core: &PlasmaCore, phase: Phase, opts: &FlowOptions) -> FlowReport {
+    let selftest = build_program(phase).expect("phase program must assemble");
+    let golden = golden_cycles(&selftest);
+    let faults = fault_list(core, opts);
+    let campaign = run_campaign(core, &selftest, &faults, golden + opts.cycle_margin);
+    let coverage = CoverageReport::from_campaign(core.netlist(), &campaign);
+    let cost = opts.cost_model.cost(selftest.size_words(), golden);
+    FlowReport {
+        selftest,
+        golden_cycles: golden,
+        cost,
+        campaign,
+        coverage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma::PlasmaConfig;
+
+    /// A small-sample smoke run of the whole flow. The full-list runs
+    /// live in the bench harness; this keeps the test suite fast while
+    /// still exercising generation → assembly → golden run → campaign →
+    /// report end to end.
+    #[test]
+    fn phase_a_flow_smoke() {
+        let core = PlasmaCore::build(PlasmaConfig::default());
+        let opts = FlowOptions {
+            fault_sample: Some(700),
+            ..Default::default()
+        };
+        let report = run_flow(&core, Phase::A, &opts);
+        assert!(report.golden_cycles > 1000);
+        assert!(
+            report.coverage.overall_pct > 75.0,
+            "implausibly low sampled coverage: {:.2}%\n{}",
+            report.coverage.overall_pct,
+            report.coverage.to_table()
+        );
+        // Functional components must be well covered by Phase A.
+        let regf = report.coverage.component("RegF").unwrap();
+        assert!(regf.coverage_pct > 85.0, "RegF {:.2}%", regf.coverage_pct);
+    }
+}

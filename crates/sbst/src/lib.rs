@@ -1,0 +1,49 @@
+//! The paper's contribution: low-cost software-based self-testing (SBST)
+//! of RISC processor cores.
+//!
+//! This crate implements the component-based, deterministic, ISA-driven
+//! methodology of Kranitis et al. (DATE 2003), Section 2:
+//!
+//! 1. **Classification** ([`classify`]): processor components are sorted
+//!    into *functional*, *control* and *hidden* classes (Table 2).
+//! 2. **Test priority** ([`classify::priority_order`]): components are
+//!    ordered by class, then by size — functional first, because they
+//!    dominate the area and are the most controllable/observable through
+//!    instructions (Table 1).
+//! 3. **Routine development** ([`library`], [`routines`]): each component
+//!    gets a *compact loop* of instructions applying a small deterministic
+//!    test set from a library that exploits the component's regularity —
+//!    no ATPG, no constraint extraction.
+//! 4. **Phases** ([`phases`]): Phase A covers the four functional
+//!    components; Phase B adds the memory controller; Phase C would add
+//!    the remaining control/hidden components.
+//!
+//! The evaluation flow ([`flow`]) assembles the phase program, runs the
+//! fault-free reference to get the golden bus trace length (Table 4), and
+//! fault-simulates the whole processor executing its own self test
+//! (Table 5). The tester cost model ([`cost`]) turns program size and
+//! cycle counts into download plus execution time, the paper's low-cost
+//! argument.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use plasma::{PlasmaCore, PlasmaConfig};
+//! use sbst::flow::{run_flow, FlowOptions};
+//! use sbst::phases::Phase;
+//!
+//! let core = PlasmaCore::build(PlasmaConfig::default());
+//! let report = run_flow(&core, Phase::A, &FlowOptions::default());
+//! println!("{}", report.coverage.to_table());
+//! assert!(report.coverage.overall_pct > 85.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod cost;
+pub mod flow;
+pub mod library;
+pub mod phases;
+pub mod routines;
+pub mod signature;

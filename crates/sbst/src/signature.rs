@@ -1,0 +1,193 @@
+//! Software response compaction (MISR) — an ablation of the paper's
+//! store-everything observation model.
+//!
+//! The paper's routines store every response word to memory, maximizing
+//! observability at the cost of response bandwidth. The classic
+//! alternative compacts responses in software into a rotating-XOR
+//! signature that is stored once per routine. This module provides the
+//! compacted variants of the two highest-bandwidth routines (ALU and
+//! shifter) plus the software MISR model, so the aliasing/observability
+//! trade-off can be measured instead of argued.
+
+use std::fmt::Write as _;
+
+use crate::library;
+use crate::routines::Routine;
+
+/// The software MISR step used by the compacted routines:
+/// `sig = rotl(sig, 1) ^ response`. Bit-exact model of the emitted
+/// assembly.
+pub fn misr_step(sig: u32, response: u32) -> u32 {
+    sig.rotate_left(1) ^ response
+}
+
+fn emit_misr(code: &mut String) {
+    let _ = writeln!(code, "        sll  $t8, $s3, 1");
+    let _ = writeln!(code, "        srl  $t9, $s3, 31");
+    let _ = writeln!(code, "        or   $s3, $t8, $t9");
+    let _ = writeln!(code, "        xor  $s3, $s3, $v0");
+}
+
+/// The ALU routine with MISR-compacted responses: one store per routine
+/// instead of one per operation.
+pub fn alu_routine_misr() -> Routine {
+    let pairs: Vec<(u32, u32)> = library::adder_pairs()
+        .into_iter()
+        .chain(library::logic_pairs())
+        .collect();
+    let mut code = String::new();
+    let _ = writeln!(code, "        li   $s3, 0");
+    let _ = writeln!(code, "        la   $s0, alum_tab");
+    let _ = writeln!(code, "        li   $s1, {}", pairs.len());
+    let _ = writeln!(code, "alum_loop:");
+    let _ = writeln!(code, "        lw   $a0, 0($s0)");
+    let _ = writeln!(code, "        lw   $a1, 4($s0)");
+    for op in ["addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"] {
+        let _ = writeln!(code, "        {op} $v0, $a0, $a1");
+        emit_misr(&mut code);
+    }
+    let _ = writeln!(code, "        addiu $s0, $s0, 8");
+    let _ = writeln!(code, "        addiu $s1, $s1, -1");
+    let _ = writeln!(code, "        bnez $s1, alum_loop");
+    let _ = writeln!(code, "        nop");
+    let _ = writeln!(code, "        sw   $s3, 0($s2)");
+    let _ = writeln!(code, "        addiu $s2, $s2, 4");
+
+    let mut tables = String::from("alum_tab:\n");
+    for (a, b) in &pairs {
+        let _ = writeln!(tables, "        .word 0x{a:08x}, 0x{b:08x}");
+    }
+    Routine {
+        component: "ALU",
+        code,
+        tables,
+        high_code: String::new(),
+    }
+}
+
+/// The shifter routine with MISR-compacted responses.
+pub fn shifter_routine_misr() -> Routine {
+    let data = library::shifter_data();
+    let mut code = String::new();
+    let _ = writeln!(code, "        li   $s3, 0");
+    let _ = writeln!(code, "        la   $s0, bshm_tab");
+    let _ = writeln!(code, "        li   $s1, {}", data.len());
+    let _ = writeln!(code, "bshm_outer:");
+    let _ = writeln!(code, "        lw   $a0, 0($s0)");
+    let _ = writeln!(code, "        li   $t0, 0");
+    let _ = writeln!(code, "bshm_inner:");
+    for op in ["sllv", "srlv", "srav"] {
+        let _ = writeln!(code, "        {op} $v0, $a0, $t0");
+        emit_misr(&mut code);
+    }
+    let _ = writeln!(code, "        addiu $t0, $t0, 1");
+    let _ = writeln!(code, "        sltiu $v1, $t0, 32");
+    let _ = writeln!(code, "        bnez $v1, bshm_inner");
+    let _ = writeln!(code, "        nop");
+    let _ = writeln!(code, "        addiu $s0, $s0, 4");
+    let _ = writeln!(code, "        addiu $s1, $s1, -1");
+    let _ = writeln!(code, "        bgtz $s1, bshm_outer");
+    let _ = writeln!(code, "        nop");
+    let _ = writeln!(code, "        sw   $s3, 0($s2)");
+    let _ = writeln!(code, "        addiu $s2, $s2, 4");
+
+    let mut tables = String::from("bshm_tab:\n");
+    for d in &data {
+        let _ = writeln!(tables, "        .word 0x{d:08x}");
+    }
+    Routine {
+        component: "BSH",
+        code,
+        tables,
+        high_code: String::new(),
+    }
+}
+
+/// Build a standalone MISR-compacted test program (ALU + shifter only —
+/// the two highest response-bandwidth routines) for comparison against
+/// the store-everything variants of the same routines.
+pub fn misr_program() -> Result<crate::phases::SelfTestProgram, mips::asm::AsmError> {
+    use crate::routines::{END_MARKER, MAILBOX, RESP_BASE};
+    let mut src = String::new();
+    src.push_str(&format!("        li   $s2, 0x{RESP_BASE:x}\n"));
+    let alu = alu_routine_misr();
+    let bsh = shifter_routine_misr();
+    src.push_str(&alu.code);
+    src.push_str(&bsh.code);
+    src.push_str(&format!("        li   $k1, 0x{END_MARKER:x}\n"));
+    src.push_str(&format!("        sw   $k1, 0x{MAILBOX:x}($zero)\n"));
+    src.push_str("misr_done:\n        b misr_done\n        nop\n");
+    src.push_str(&alu.tables);
+    src.push_str(&bsh.tables);
+    let program = mips::asm::assemble(&src)?;
+    Ok(crate::phases::SelfTestProgram {
+        phase: crate::phases::Phase::A,
+        source: src,
+        program,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mips::iss::{Iss, Memory};
+
+    #[test]
+    fn misr_model_matches_assembly() {
+        // Run the MISR program on the ISS and recompute the ALU signature
+        // with the software model.
+        let st = misr_program().unwrap();
+        let mut mem = Memory::new(64 * 1024);
+        mem.load_program(&st.program);
+        let mut cpu = Iss::new();
+        let trace = cpu.run_until_store(
+            &mut mem,
+            crate::routines::MAILBOX,
+            crate::routines::END_MARKER,
+            200_000,
+        );
+        assert!(trace.last().unwrap().we, "must terminate");
+
+        let pairs: Vec<(u32, u32)> = library::adder_pairs()
+            .into_iter()
+            .chain(library::logic_pairs())
+            .collect();
+        let mut sig = 0u32;
+        for (a, b) in pairs {
+            for r in [
+                a.wrapping_add(b),
+                a.wrapping_sub(b),
+                a & b,
+                a | b,
+                a ^ b,
+                !(a | b),
+                ((a as i32) < (b as i32)) as u32,
+                (a < b) as u32,
+            ] {
+                sig = misr_step(sig, r);
+            }
+        }
+        assert_eq!(
+            mem.read_word(crate::routines::RESP_BASE),
+            sig,
+            "assembly MISR must equal the model"
+        );
+    }
+
+    #[test]
+    fn misr_program_is_much_smaller_in_responses() {
+        let st = misr_program().unwrap();
+        let mut mem = Memory::new(64 * 1024);
+        mem.load_program(&st.program);
+        let mut cpu = Iss::new();
+        let trace = cpu.run_until_store(
+            &mut mem,
+            crate::routines::MAILBOX,
+            crate::routines::END_MARKER,
+            200_000,
+        );
+        let stores = trace.iter().filter(|c| c.we).count();
+        // Two signature stores plus the end marker.
+        assert_eq!(stores, 3, "MISR compaction collapses the response stream");
+    }
+}

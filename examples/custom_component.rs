@@ -1,0 +1,80 @@
+//! Using the substrate directly: build a custom datapath block out of
+//! gates, extract and collapse its stuck-at faults, and grade a test set
+//! on it — the component-level workflow behind the paper's "library of
+//! small test sets" (Section 2.3).
+//!
+//! The block here is a 16-bit adder with an accumulator register; the
+//! example compares a deterministic carry-chain test set against the same
+//! number of pseudorandom patterns.
+//!
+//! Run with: `cargo run --release --example custom_component`
+
+use fault::campaign::run_vectors;
+use fault::model::FaultList;
+use netlist::synth::{self, TechStyle};
+use netlist::NetlistBuilder;
+
+fn main() {
+    // A registered 16-bit adder: r <= a + b, carry-out registered too.
+    let mut b = NetlistBuilder::new("radd16");
+    b.begin_component("adder");
+    let a_in = b.inputs("a", 16);
+    let b_in = b.inputs("b", 16);
+    let zero = b.zero();
+    let sum = synth::add(&mut b, TechStyle::RippleMux, &a_in, &b_in, zero);
+    let r = b.dff_word(&sum.sum, 0);
+    let co = b.dff(sum.carry_out, false);
+    b.end_component();
+    b.outputs("r", &r);
+    b.output("co", co);
+    let nl = b.finish().expect("valid netlist");
+
+    let faults = FaultList::extract(&nl).collapsed(&nl);
+    println!(
+        "block: {:.0} NAND2, {} collapsed stuck-at faults",
+        nl.nand2_equiv(),
+        faults.len()
+    );
+
+    // Deterministic test: six carry-exciting operand pairs from the same
+    // reasoning as the methodology's adder library (checkerboards,
+    // full-chain ripples, the MSB corner).
+    let det: Vec<Vec<(&str, u64)>> = [
+        (0xFFFFu64, 0x0001u64),
+        (0xAAAA, 0x5555),
+        (0x5555, 0xAAAA),
+        (0xAAAA, 0xAAAA),
+        (0xFFFF, 0xFFFF),
+        (0x0000, 0x0000),
+    ]
+    .iter()
+    .map(|&(a, b)| vec![("a", a), ("b", b)])
+    .collect();
+    let det_result = run_vectors(&nl, &faults, &det);
+    println!(
+        "deterministic test set:  {:>3} patterns -> {:>6.2}% coverage",
+        det.len(),
+        100.0 * det_result.coverage()
+    );
+
+    // Pseudorandom patterns of the same count.
+    let mut x = 0xACE1_2B4Du64;
+    let rand: Vec<Vec<(&str, u64)>> = (0..det.len())
+        .map(|_| {
+            x ^= x << 7;
+            x ^= x >> 9;
+            vec![("a", x & 0xFFFF), ("b", (x >> 16) & 0xFFFF)]
+        })
+        .collect();
+    let rand_result = run_vectors(&nl, &faults, &rand);
+    println!(
+        "pseudorandom, same size: {:>3} patterns -> {:>6.2}% coverage",
+        rand.len(),
+        100.0 * rand_result.coverage()
+    );
+
+    println!(
+        "\nthe deterministic set exploits the adder's regularity — this is\n\
+         exactly why the paper's library beats pseudorandom pattern counts."
+    );
+}

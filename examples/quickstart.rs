@@ -1,0 +1,58 @@
+//! Quickstart: the software-based self-testing concept of the paper's
+//! Figure 1, end to end.
+//!
+//! 1. Build the gate-level Plasma-class MIPS I core.
+//! 2. Generate the Phase A+B self-test program (the paper's methodology).
+//! 3. "Download" it into the on-chip memory and let the CPU test itself.
+//! 4. Watch what the external tester sees: the bus, and the response
+//!    signature the routines stored to data memory.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use plasma::testbench::GateCpu;
+use plasma::{PlasmaConfig, PlasmaCore};
+use sbst::phases::{build_program, Phase};
+use sbst::routines::{END_MARKER, MAILBOX, RESP_BASE};
+
+fn main() {
+    println!("building the gate-level core ...");
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let nl = core.netlist();
+    println!(
+        "  {} gates, {} flip-flops, {:.0} NAND2 equivalents",
+        nl.gates().len(),
+        nl.dffs().len(),
+        nl.nand2_equiv()
+    );
+
+    println!("generating the Phase A+B self-test program ...");
+    let selftest = build_program(Phase::B).expect("the generator always assembles");
+    println!(
+        "  {} words of code+tables (the tester downloads this)",
+        selftest.size_words()
+    );
+
+    println!("running the self test on the gate-level netlist ...");
+    let mut cpu = GateCpu::new(&core, sbst::flow::MEM_BYTES);
+    cpu.load_program(&selftest.program);
+    let trace = cpu.run_until_store(MAILBOX, END_MARKER, 100_000);
+    let last = trace.last().expect("nonempty trace");
+    assert!(
+        last.we && last.addr == MAILBOX && last.wdata == END_MARKER,
+        "self test did not finish"
+    );
+    println!("  finished in {} clock cycles", trace.len());
+
+    let stores = trace.iter().filter(|c| c.we).count();
+    println!("  the tester observed {stores} response stores on the bus");
+
+    println!("first response words (register-file march block):");
+    for k in 1..6 {
+        println!(
+            "  mem[{:#06x}] = {:#010x}",
+            RESP_BASE + 4 * k,
+            cpu.read_word(RESP_BASE + 4 * k)
+        );
+    }
+    println!("done — the processor tested itself with no test hardware at all.");
+}

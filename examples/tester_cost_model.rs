@@ -1,0 +1,56 @@
+//! The paper's low-cost argument in numbers: test application time =
+//! download at the tester's (slow) clock + execution at the core clock.
+//!
+//! Sweeps tester frequencies and compares the deterministic Phase A+B
+//! program against a pseudorandom baseline of similar coverage ambitions.
+//!
+//! Run with: `cargo run --release --example tester_cost_model`
+
+use baselines::lfsr::LfsrConfig;
+use sbst::cost::CostModel;
+use sbst::flow::golden_cycles_of;
+use sbst::phases::{build_program, Phase};
+
+fn main() {
+    let det = build_program(Phase::B).expect("assembles");
+    let det_cycles = sbst::flow::golden_cycles(&det);
+    let det_words = det.size_words();
+
+    let pr = baselines::lfsr::build_program(&LfsrConfig::default()).expect("assembles");
+    let pr_cycles = golden_cycles_of(&pr.program);
+    let pr_words = pr.program.size_download_words();
+
+    println!(
+        "deterministic Phase A+B: {det_words} words, {det_cycles} cycles  (~92% stuck-at coverage)"
+    );
+    println!(
+        "pseudorandom LFSR SBST:  {pr_words} words, {pr_cycles} cycles  (~61% coverage — its plateau; \
+         +{} bytes of on-chip pattern buffer)\n",
+        pr.buffer_bytes
+    );
+
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "tester MHz", "deterministic us", "pseudorandom us"
+    );
+    for tester_mhz in [1.0, 5.0, 10.0, 25.0, 66.0] {
+        let m = CostModel {
+            tester_mhz,
+            cpu_mhz: 66.0,
+        };
+        let d = m.cost(det_words, det_cycles);
+        let p = m.cost(pr_words, pr_cycles);
+        println!(
+            "{:>12} {:>16.1} {:>16.1}",
+            tester_mhz, d.total_us, p.total_us
+        );
+    }
+    println!(
+        "\nthe raw times are close — but they buy very different things: the\n\
+         pseudorandom run is stuck at ~61% coverage no matter how many more\n\
+         patterns are expanded (see `tables --table prcomp`), while the\n\
+         deterministic program reaches ~92%. at equal coverage ambitions the\n\
+         pseudorandom approach never catches up at any tester speed, and it\n\
+         additionally occupies an on-chip pattern buffer."
+    );
+}

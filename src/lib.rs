@@ -1,0 +1,31 @@
+//! Reproduction of N. Kranitis et al., *Low-Cost Software-Based
+//! Self-Testing of RISC Processor Cores* (DATE 2003).
+//!
+//! This facade crate re-exports the whole workspace. Start with
+//! [`sbst::flow::run_flow`] for the end-to-end methodology, or with the
+//! runnable examples:
+//!
+//! * `examples/quickstart.rs` — run a self-test program on the gate-level
+//!   core and watch the tester-visible bus;
+//! * `examples/phase_development.rs` — the phase A/B/C development loop
+//!   with per-component coverage;
+//! * `examples/custom_component.rs` — grade your own test set on a
+//!   custom datapath block;
+//! * `examples/tester_cost_model.rs` — download/execution time trade-offs.
+//!
+//! The crate layering (bottom-up): [`netlist`] (gate-level IR and
+//! structural generators) → [`fault`] (stuck-at model and bit-parallel
+//! fault simulation) → [`mips`] (ISA, assembler, cycle-accurate ISS) →
+//! [`plasma`] (the gate-level 3-stage MIPS I core) → [`sbst`] (the
+//! paper's methodology) plus [`baselines`] and [`parwan`] for the
+//! comparison experiments.
+
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use fault;
+pub use mips;
+pub use netlist;
+pub use parwan;
+pub use plasma;
+pub use sbst;
