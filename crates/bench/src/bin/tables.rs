@@ -5,7 +5,14 @@
 //! tables --all --full          # every experiment, complete fault lists
 //! tables --table 5             # just Table 5
 //! tables --all --json out.json # machine-readable dump as well
+//! tables --threads 4 --table 5 # campaigns on 4 worker threads
+//! tables --stats               # campaign throughput benchmark
+//!                              #   -> results/BENCH_campaign.json
 //! ```
+//!
+//! Campaign thread count defaults to the `SBST_THREADS` environment
+//! variable, else the machine's available parallelism; coverage numbers
+//! are bit-identical at every thread count.
 
 use std::io::Write as _;
 
@@ -16,6 +23,7 @@ fn main() {
     let mut opts = RunOptions::default();
     let mut which: Option<String> = None;
     let mut json_out: Option<String> = None;
+    let mut stats = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -37,13 +45,32 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--seed needs a number");
             }
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--stats" => stats = true,
             "--json" => json_out = Some(it.next().expect("--json needs a path").clone()),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: tables [--all | --table <id>] [--full | --sample N] [--seed N] [--json file]");
+                eprintln!("usage: tables [--all | --table <id>] [--full | --sample N] [--seed N] [--threads N] [--stats] [--json file]");
                 std::process::exit(2);
             }
         }
+    }
+
+    if stats {
+        let e = bench::campaign_benchmark(&opts);
+        println!("==== {} — {} ====", e.id, e.title);
+        println!("{}", e.text);
+        let path = "results/BENCH_campaign.json";
+        std::fs::create_dir_all("results").expect("create results dir");
+        let s = serde_json::to_string_pretty(&e.data).expect("serialize");
+        std::fs::write(path, s).expect("write campaign stats");
+        eprintln!("[campaign stats written to {path}]");
+        return;
     }
 
     match opts.sample {

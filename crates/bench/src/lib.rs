@@ -14,8 +14,7 @@
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
-
+use fault::campaign::{self, CampaignResult};
 use fault::coverage::CoverageReport;
 use fault::model::FaultList;
 use netlist::synth::TechStyle;
@@ -27,7 +26,7 @@ use sbst::phases::Phase;
 
 /// A rendered experiment: the text the paper-table corresponds to plus
 /// serializable rows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Experiment {
     /// Experiment identifier ("table3", "parwan", ...).
     pub id: String,
@@ -37,6 +36,17 @@ pub struct Experiment {
     pub text: String,
     /// Machine-readable payload.
     pub data: serde_json::Value,
+}
+
+impl serde_json::ToJson for Experiment {
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "text": self.text,
+            "data": self.data,
+        })
+    }
 }
 
 fn experiment(id: &str, title: &str, text: String, data: serde_json::Value) -> Experiment {
@@ -290,6 +300,10 @@ pub struct RunOptions {
     pub sample: Option<usize>,
     /// RNG seed for sampling.
     pub seed: u64,
+    /// Campaign worker threads; 0 = auto (`SBST_THREADS` env var, else
+    /// available parallelism). Coverage numbers are identical at every
+    /// thread count.
+    pub threads: usize,
 }
 
 impl Default for RunOptions {
@@ -297,6 +311,7 @@ impl Default for RunOptions {
         RunOptions {
             sample: Some(8000),
             seed: 0xC0FFEE,
+            threads: 0,
         }
     }
 }
@@ -306,6 +321,7 @@ impl RunOptions {
         FlowOptions {
             fault_sample: self.sample,
             seed: self.seed,
+            threads: self.threads,
             ..Default::default()
         }
     }
@@ -788,6 +804,90 @@ pub fn run_selected(opts: &RunOptions, mut filter: impl FnMut(&str) -> bool) -> 
 /// (full-fault-list) numbers.
 pub fn run_all(opts: &RunOptions) -> Vec<Experiment> {
     run_selected(opts, |_| true)
+}
+
+fn stats_json(r: &CampaignResult) -> serde_json::Value {
+    let s = &r.stats;
+    serde_json::json!({
+        "threads": s.threads,
+        "batches": s.batches,
+        "faults": r.faults.len(),
+        "faults_dropped": s.faults_dropped,
+        "cycles_simulated": s.cycles_simulated,
+        "budget_cycles": s.budget_cycles,
+        "wall_seconds": s.wall_seconds,
+        "mlane_cycles_per_sec": s.mlane_cycles_per_sec(),
+    })
+}
+
+fn stats_line(label: &str, r: &CampaignResult) -> String {
+    let s = &r.stats;
+    format!(
+        "{:<10} {:>7} {:>8} {:>12} {:>10.3} {:>14.2}\n",
+        label,
+        s.threads,
+        s.batches,
+        s.cycles_simulated,
+        s.wall_seconds,
+        s.mlane_cycles_per_sec()
+    )
+}
+
+/// The campaign throughput benchmark behind `tables --stats`: grade the
+/// Phase A+B self-test over the sampled fault list serially and at the
+/// requested (or auto) thread count, verify the detections are
+/// bit-identical, and report wall time / Mlane-cycles/s / speedup. The
+/// driver writes the JSON payload to `results/BENCH_campaign.json`.
+pub fn campaign_benchmark(opts: &RunOptions) -> Experiment {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let fo = opts.flow_options();
+    let selftest = sbst::phases::build_program(Phase::B).expect("assembles");
+    let golden = flow::golden_cycles(&selftest);
+    let faults = flow::fault_list(&core, &fo);
+    let budget = golden + fo.cycle_margin;
+    let threads = if opts.threads == 0 {
+        campaign::default_threads()
+    } else {
+        opts.threads
+    };
+
+    let serial = flow::run_campaign_threads(&core, &selftest, &faults, budget, 1);
+    let mut text = format!(
+        "Phase A+B campaign: {} faults, budget {} cycles/batch\n\n",
+        faults.len(),
+        budget
+    );
+    text.push_str(&format!(
+        "{:<10} {:>7} {:>8} {:>12} {:>10} {:>14}\n",
+        "run", "threads", "batches", "cycles", "wall (s)", "Mlane-cyc/s"
+    ));
+    text.push_str(&stats_line("serial", &serial));
+    let mut runs = vec![stats_json(&serial)];
+    let mut speedup = 1.0;
+    if threads > 1 {
+        let par = flow::run_campaign_threads(&core, &selftest, &faults, budget, threads);
+        assert_eq!(
+            par.detections, serial.detections,
+            "parallel campaign diverged from serial"
+        );
+        speedup = serial.stats.wall_seconds / par.stats.wall_seconds.max(1e-9);
+        text.push_str(&stats_line("parallel", &par));
+        text.push_str(&format!("\nspeedup at {threads} threads: {speedup:.2}x\n"));
+        runs.push(stats_json(&par));
+    } else {
+        text.push_str("\n(auto thread count resolved to 1 — no parallel run to compare)\n");
+    }
+    experiment(
+        "campaign",
+        "Campaign throughput benchmark (serial vs parallel)",
+        text,
+        serde_json::json!({
+            "faults": faults.len(),
+            "budget_cycles_per_batch": budget,
+            "runs": runs,
+            "speedup": speedup,
+        }),
+    )
 }
 
 #[cfg(test)]

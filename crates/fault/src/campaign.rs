@@ -5,10 +5,20 @@
 //! and records when each fault is first *detected* — i.e. when the faulty
 //! machine's primary-output behaviour diverges from the reference. Batches
 //! end early once all their faults are detected (fault dropping).
+//!
+//! Batches are independent of each other (the simulator state is rebuilt
+//! from scratch per batch), which makes the campaign embarrassingly
+//! parallel: [`run_parallel`] shards the batch sequence over worker
+//! threads — N threads × 64 lanes each — and produces a result
+//! bit-identical to the serial [`run`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use netlist::Netlist;
 
-use crate::model::FaultList;
+use crate::model::{Fault, FaultList};
 use crate::sim::ParallelSim;
 
 /// Stimulus source driven by the campaign runner, one clock cycle at a
@@ -49,6 +59,50 @@ impl Detection {
     }
 }
 
+/// Measured execution statistics of a campaign run — the observability
+/// layer that turns "it feels faster" into numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignStats {
+    /// Number of 63-fault batches simulated.
+    pub batches: u64,
+    /// Clock cycles actually simulated, summed over batches (fault
+    /// dropping ends batches early, so this is ≤ `budget_cycles`).
+    pub cycles_simulated: u64,
+    /// Cycles a drop-free run would have cost (batches × budget).
+    pub budget_cycles: u64,
+    /// Faults detected before the cycle budget ran out (each detection
+    /// drops that fault from further observation).
+    pub faults_dropped: u64,
+    /// Wall-clock time of the campaign.
+    pub wall_seconds: f64,
+    /// Worker threads used (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for CampaignStats {
+    fn default() -> Self {
+        CampaignStats {
+            batches: 0,
+            cycles_simulated: 0,
+            budget_cycles: 0,
+            faults_dropped: 0,
+            wall_seconds: 0.0,
+            threads: 1,
+        }
+    }
+}
+
+impl CampaignStats {
+    /// Simulation throughput in millions of lane-cycles per second
+    /// (64 faulty machines per simulated cycle).
+    pub fn mlane_cycles_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.cycles_simulated as f64 * 64.0) / self.wall_seconds / 1e6
+    }
+}
+
 /// Result of running a campaign over a fault list.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -56,6 +110,8 @@ pub struct CampaignResult {
     pub faults: FaultList,
     /// Outcome per fault, parallel to `faults`.
     pub detections: Vec<Detection>,
+    /// Execution statistics of the run that produced this result.
+    pub stats: CampaignStats,
 }
 
 impl CampaignResult {
@@ -125,8 +181,63 @@ impl CampaignResult {
         CampaignResult {
             faults: self.faults.clone(),
             detections,
+            stats: CampaignStats {
+                batches: self.stats.batches + other.stats.batches,
+                cycles_simulated: self.stats.cycles_simulated + other.stats.cycles_simulated,
+                budget_cycles: self.stats.budget_cycles + other.stats.budget_cycles,
+                faults_dropped: self.stats.faults_dropped + other.stats.faults_dropped,
+                wall_seconds: self.stats.wall_seconds + other.stats.wall_seconds,
+                threads: self.stats.threads.max(other.stats.threads),
+            },
         }
     }
+}
+
+/// Simulate one batch of ≤ 63 faults: inject, reset, run until the cycle
+/// budget is spent or every fault is dropped. Writes outcomes into `out`
+/// (parallel to `batch`) and returns the number of cycles simulated.
+///
+/// The simulator state is fully rebuilt ([`ParallelSim::reset_state`]),
+/// so the outcome depends only on `batch` and the testbench stimulus —
+/// never on previous batches. This is what lets the parallel runner
+/// schedule batches in any order and still match the serial runner bit
+/// for bit.
+fn run_batch(
+    sim: &mut ParallelSim,
+    tb: &mut dyn Testbench,
+    batch: &[Fault],
+    budget: u64,
+    out: &mut [Detection],
+) -> u64 {
+    sim.clear_faults();
+    for (k, &f) in batch.iter().enumerate() {
+        sim.inject(f, k + 1);
+    }
+    sim.reset_state();
+    tb.begin(sim);
+    let active: u64 = if batch.len() == 63 {
+        !1 // lanes 1..=63
+    } else {
+        ((1u64 << batch.len()) - 1) << 1
+    };
+    let mut detected = 0u64;
+    for cycle in 0..budget {
+        let diff = tb.step(sim, cycle);
+        let newly = diff & active & !detected;
+        if newly != 0 {
+            let mut rem = newly;
+            while rem != 0 {
+                let lane = rem.trailing_zeros() as usize;
+                rem &= rem - 1;
+                out[lane - 1] = Detection::DetectedAt(cycle);
+            }
+            detected |= newly;
+            if detected == active {
+                return cycle + 1; // every fault in the batch dropped
+            }
+        }
+    }
+    budget
 }
 
 /// Run a campaign: simulate every fault in `faults` against the stimulus
@@ -135,41 +246,139 @@ impl CampaignResult {
 /// `sim` must have been built over the same netlist the faults refer to;
 /// it is reused across batches (cheaper than reallocating).
 pub fn run(sim: &mut ParallelSim, faults: &FaultList, tb: &mut dyn Testbench) -> CampaignResult {
+    let t0 = Instant::now();
     let mut detections = vec![Detection::Undetected; faults.len()];
     let budget = tb.cycles();
-    for (batch_idx, batch) in faults.faults.chunks(63).enumerate() {
-        sim.clear_faults();
-        for (k, &f) in batch.iter().enumerate() {
-            sim.inject(f, k + 1);
-        }
-        sim.reset();
-        tb.begin(sim);
-        let active: u64 = if batch.len() == 63 {
-            !1 // lanes 1..=63
-        } else {
-            ((1u64 << batch.len()) - 1) << 1
-        };
-        let mut detected = 0u64;
-        for cycle in 0..budget {
-            let diff = tb.step(sim, cycle);
-            let newly = diff & active & !detected;
-            if newly != 0 {
-                let mut rem = newly;
-                while rem != 0 {
-                    let lane = rem.trailing_zeros() as usize;
-                    rem &= rem - 1;
-                    detections[batch_idx * 63 + lane - 1] = Detection::DetectedAt(cycle);
-                }
-                detected |= newly;
-                if detected == active {
-                    break; // every fault in the batch dropped
-                }
-            }
-        }
+    let mut cycles = 0u64;
+    let mut batches = 0u64;
+    for (batch, out) in faults.faults.chunks(63).zip(detections.chunks_mut(63)) {
+        cycles += run_batch(sim, tb, batch, budget, out);
+        batches += 1;
     }
+    let dropped = detections.iter().filter(|d| d.is_detected()).count() as u64;
     CampaignResult {
         faults: faults.clone(),
         detections,
+        stats: CampaignStats {
+            batches,
+            cycles_simulated: cycles,
+            budget_cycles: batches * budget,
+            faults_dropped: dropped,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            threads: 1,
+        },
+    }
+}
+
+/// Creates one testbench instance per worker thread of a parallel
+/// campaign. Blanket-implemented for `Fn() -> T` closures, so
+/// `&|| SelfTestBench::new(...)` is a factory.
+///
+/// Every instance must produce the same stimulus (same program, same
+/// cycle budget) — the determinism guarantee of [`run_parallel`] assumes
+/// batches are interchangeable across workers.
+pub trait TestbenchFactory: Sync {
+    /// The testbench type produced.
+    type Bench: Testbench;
+
+    /// Create a fresh testbench (called once per worker thread).
+    fn create(&self) -> Self::Bench;
+}
+
+impl<T: Testbench, F: Fn() -> T + Sync> TestbenchFactory for F {
+    type Bench = T;
+
+    fn create(&self) -> T {
+        self()
+    }
+}
+
+/// Number of worker threads a campaign should use: the `SBST_THREADS`
+/// environment variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    match std::env::var("SBST_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Run a campaign across `threads` worker threads (0 = use
+/// [`default_threads`]). Each worker owns a clone of `proto` and its own
+/// testbench from `factory`, and pulls 63-fault batches off a shared
+/// atomic cursor — dynamic load balancing, because fault dropping makes
+/// batch runtimes uneven. Detections are written into disjoint per-batch
+/// slices of one result vector, so the merged [`CampaignResult`] is
+/// bit-identical to [`run`] regardless of thread count or scheduling.
+pub fn run_parallel<F: TestbenchFactory>(
+    proto: &ParallelSim,
+    faults: &FaultList,
+    factory: &F,
+    threads: usize,
+) -> CampaignResult {
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    let batches: Vec<&[Fault]> = faults.faults.chunks(63).collect();
+    let workers = threads.min(batches.len()).max(1);
+    if workers == 1 {
+        let mut sim = proto.clone();
+        let mut tb = factory.create();
+        return run(&mut sim, faults, &mut tb);
+    }
+
+    let t0 = Instant::now();
+    let budget = factory.create().cycles();
+    let mut detections = vec![Detection::Undetected; faults.len()];
+    // One uncontended Mutex per batch slice: a worker locks only the
+    // batches the cursor hands it, so slices stay disjoint and safe.
+    let slots: Vec<Mutex<&mut [Detection]>> =
+        detections.chunks_mut(63).map(Mutex::new).collect();
+    let cursor = AtomicUsize::new(0);
+    let cycles_total = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut sim = proto.clone();
+                    let mut tb = factory.create();
+                    let mut cycles = 0u64;
+                    loop {
+                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                        if b >= batches.len() {
+                            break;
+                        }
+                        let mut out = slots[b].lock().expect("batch slot poisoned");
+                        cycles += run_batch(&mut sim, &mut tb, batches[b], budget, &mut out);
+                    }
+                    cycles
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .sum::<u64>()
+    });
+    drop(slots);
+    let dropped = detections.iter().filter(|d| d.is_detected()).count() as u64;
+    CampaignResult {
+        faults: faults.clone(),
+        detections,
+        stats: CampaignStats {
+            batches: batches.len() as u64,
+            cycles_simulated: cycles_total,
+            budget_cycles: batches.len() as u64 * budget,
+            faults_dropped: dropped,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            threads: workers,
+        },
     }
 }
 
@@ -331,6 +540,42 @@ mod tests {
         // XOR with 3 of 4 input combinations detects everything
         // observable.
         assert!(merged.coverage() > 0.99, "cov {}", merged.coverage());
+    }
+
+    /// The parallel runner must match the serial runner bit for bit at
+    /// every thread count, including partial detection (too few vectors
+    /// to catch everything).
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let mut b = NetlistBuilder::new("wide");
+        let a = b.inputs("a", 24);
+        let c = b.inputs("b", 24);
+        let y = b.xor_word(&a, &c);
+        let q = b.dff_word(&y, 0);
+        let z = b.and_word(&q, &a);
+        b.outputs("z", &z);
+        let nl = b.finish().unwrap();
+        let faults = FaultList::extract(&nl).collapsed(&nl);
+        assert!(faults.len() > 126, "need 3+ batches");
+        let vectors: Vec<Vec<(&str, u64)>> = vec![
+            vec![("a", 0xAAAAAA), ("b", 0x555555)],
+            vec![("a", 0xFFFFFF), ("b", 0)],
+            vec![("a", 0x123456), ("b", 0x654321)],
+        ];
+        let serial = run_vectors(&nl, &faults, &vectors);
+        assert_eq!(serial.stats.batches, faults.len().div_ceil(63) as u64);
+        assert!(serial.stats.cycles_simulated > 0);
+        for threads in [1usize, 2, 4] {
+            let proto = ParallelSim::new(&nl);
+            let factory = || VectorBench::new(&nl, &vectors);
+            let par = run_parallel(&proto, &faults, &factory, threads);
+            assert_eq!(
+                par.detections, serial.detections,
+                "thread count {threads} changed the result"
+            );
+            assert_eq!(par.stats.batches, serial.stats.batches);
+            assert_eq!(par.stats.cycles_simulated, serial.stats.cycles_simulated);
+        }
     }
 
     /// More than 63 faults exercises multi-batch bookkeeping.

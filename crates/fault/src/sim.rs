@@ -7,10 +7,17 @@
 //! convention the fault-free reference machine.
 //!
 //! Faults are injected *branchlessly* for net stems (per-net OR/AND masks
-//! applied on every value store) and via a rare-path patch table for gate
-//! input pins (fanout branches), which at most 63 gates per batch can have.
-
-use std::collections::HashMap;
+//! applied on every value store) and via a sorted side table of gate-pin
+//! patches (fanout branches). The side table holds at most one entry per
+//! faulted gate — no more than 63 per batch — sorted by compiled gate
+//! position, so [`ParallelSim::eval_segment`] evaluates the long unpatched
+//! runs between entries with a tight branch-free loop and applies each
+//! patched gate individually; the fault-free hot path never consults a
+//! hash map or a per-gate flag.
+//!
+//! Injection also records which nets carry stem masks, so
+//! [`ParallelSim::clear_faults`] resets only the handful of mask words the
+//! previous batch touched instead of sweeping every net.
 
 use netlist::{GateKind, Net, Netlist, NO_NET};
 
@@ -59,11 +66,14 @@ pub struct ParallelSim {
     segment_bounds: Vec<(usize, usize)>,
     /// Compiled position of each original gate index.
     pos_of_gate: Vec<u32>,
-    /// Pin patches at compiled positions (rare path).
-    has_patch: Vec<bool>,
-    pin_patches: HashMap<u32, PinPatch>,
-    /// D-pin patches per flip-flop index.
-    dff_patches: HashMap<u32, (u64, u64)>,
+    /// Pin patches sorted by compiled gate position (rare path; at most
+    /// one entry per faulted gate, ≤ 63 per batch).
+    pin_patches: Vec<(u32, PinPatch)>,
+    /// D-pin patches per flip-flop index (sorted, ≤ 63 per batch).
+    dff_patches: Vec<(u32, (u64, u64))>,
+    /// Nets whose `set1`/`keep0` masks were touched by injection since the
+    /// last [`Self::clear_faults`] — lets clearing skip the untouched bulk.
+    touched_nets: Vec<u32>,
     /// DFF d/q nets and reset masks, copied out for the clock sweep.
     dff_d: Vec<u32>,
     dff_q: Vec<u32>,
@@ -131,9 +141,9 @@ impl ParallelSim {
             outs,
             segment_bounds,
             pos_of_gate,
-            has_patch: vec![false; n_gates],
-            pin_patches: HashMap::new(),
-            dff_patches: HashMap::new(),
+            pin_patches: Vec::new(),
+            dff_patches: Vec::new(),
+            touched_nets: Vec::new(),
             dff_d: dffs.iter().map(|f| f.d.index() as u32).collect(),
             dff_q: dffs.iter().map(|f| f.q.index() as u32).collect(),
             dff_reset: dffs
@@ -149,18 +159,16 @@ impl ParallelSim {
         self.segment_bounds.len()
     }
 
-    /// Remove all injected faults (lane masks return to identity).
+    /// Remove all injected faults (lane masks return to identity). Only
+    /// the nets the previous batch actually touched are reset, so this is
+    /// O(faults), not O(nets).
     pub fn clear_faults(&mut self) {
-        for m in &mut self.set1 {
-            *m = 0;
+        for &n in &self.touched_nets {
+            self.set1[n as usize] = 0;
+            self.keep0[n as usize] = ALL_LANES;
         }
-        for m in &mut self.keep0 {
-            *m = ALL_LANES;
-        }
+        self.touched_nets.clear();
         self.pin_patches.clear();
-        for f in &mut self.has_patch {
-            *f = false;
-        }
         self.dff_patches.clear();
     }
 
@@ -172,6 +180,9 @@ impl ParallelSim {
         match fault.site {
             FaultSite::Stem(n) => {
                 let i = n.index();
+                if !self.touched_nets.contains(&(i as u32)) {
+                    self.touched_nets.push(i as u32);
+                }
                 match fault.polarity {
                     Polarity::StuckAt1 => self.set1[i] |= bit,
                     Polarity::StuckAt0 => self.keep0[i] &= !bit,
@@ -182,18 +193,28 @@ impl ParallelSim {
             }
             FaultSite::Pin { gate, pin } => {
                 let pos = self.pos_of_gate[gate as usize];
-                let patch = self
-                    .pin_patches
-                    .entry(pos)
-                    .or_insert_with(PinPatch::identity);
+                let k = match self.pin_patches.binary_search_by_key(&pos, |e| e.0) {
+                    Ok(k) => k,
+                    Err(k) => {
+                        self.pin_patches.insert(k, (pos, PinPatch::identity()));
+                        k
+                    }
+                };
+                let patch = &mut self.pin_patches[k].1;
                 match fault.polarity {
                     Polarity::StuckAt1 => patch.set1[pin as usize] |= bit,
                     Polarity::StuckAt0 => patch.keep0[pin as usize] &= !bit,
                 }
-                self.has_patch[pos as usize] = true;
             }
             FaultSite::DffD(ff) => {
-                let p = self.dff_patches.entry(ff).or_insert((0, ALL_LANES));
+                let k = match self.dff_patches.binary_search_by_key(&ff, |e| e.0) {
+                    Ok(k) => k,
+                    Err(k) => {
+                        self.dff_patches.insert(k, (ff, (0, ALL_LANES)));
+                        k
+                    }
+                };
+                let p = &mut self.dff_patches[k].1;
                 match fault.polarity {
                     Polarity::StuckAt1 => p.0 |= bit,
                     Polarity::StuckAt0 => p.1 &= !bit,
@@ -217,6 +238,22 @@ impl ParallelSim {
         }
     }
 
+    /// Zero every net value (through the injected stem masks), then apply
+    /// flip-flop resets. After this, the simulator's state depends only on
+    /// the currently injected faults — never on what a previous batch left
+    /// behind — which is what makes campaign batches order-independent and
+    /// the parallel campaign runner bit-identical to the serial one.
+    pub fn reset_state(&mut self) {
+        for v in &mut self.vals {
+            *v = 0;
+        }
+        for &n in &self.touched_nets {
+            let i = n as usize;
+            self.vals[i] = self.set1[i] & self.keep0[i];
+        }
+        self.reset();
+    }
+
     /// Drive a named input port with the same integer value on all lanes.
     pub fn set_port(&mut self, netlist: &Netlist, port: &str, value: u64) {
         for (i, &net) in netlist.port(port).iter().enumerate() {
@@ -237,22 +274,48 @@ impl ParallelSim {
 
     /// Evaluate one segment (in order). Segment indices follow the
     /// construction order in [`Self::with_segments`].
+    ///
+    /// The pin-patch side table is sorted by compiled position, so the
+    /// segment is evaluated as unpatched runs between patched gates: the
+    /// runs take the branch-free fast path, each patched gate is handled
+    /// individually.
     pub fn eval_segment(&mut self, segment: usize) {
         let (start, end) = self.segment_bounds[segment];
+        let lo = self.pin_patches.partition_point(|e| (e.0 as usize) < start);
+        let hi = self.pin_patches.partition_point(|e| (e.0 as usize) < end);
+        let mut cur = start;
+        for k in lo..hi {
+            let (pos, patch) = self.pin_patches[k];
+            let pos = pos as usize;
+            self.eval_range(cur, pos);
+            self.eval_gate_patched(pos, patch);
+            cur = pos + 1;
+        }
+        self.eval_range(cur, end);
+    }
+
+    /// Evaluate a run of compiled gates with no pin patches — the hot
+    /// loop of the whole fault simulator.
+    #[inline]
+    fn eval_range(&mut self, start: usize, end: usize) {
         for i in start..end {
-            let mut a = self.vals[self.in0[i] as usize];
-            let mut b = self.vals[self.in1[i] as usize];
-            let mut c = self.vals[self.in2[i] as usize];
-            if self.has_patch[i] {
-                let p = &self.pin_patches[&(i as u32)];
-                a = (a | p.set1[0]) & p.keep0[0];
-                b = (b | p.set1[1]) & p.keep0[1];
-                c = (c | p.set1[2]) & p.keep0[2];
-            }
+            let a = self.vals[self.in0[i] as usize];
+            let b = self.vals[self.in1[i] as usize];
+            let c = self.vals[self.in2[i] as usize];
             let v = self.kinds[i].eval_u64(a, b, c);
             let o = self.outs[i] as usize;
             self.vals[o] = (v | self.set1[o]) & self.keep0[o];
         }
+    }
+
+    /// Evaluate a single gate with its input pins patched.
+    fn eval_gate_patched(&mut self, i: usize, p: PinPatch) {
+        let a = (self.vals[self.in0[i] as usize] | p.set1[0]) & p.keep0[0];
+        let b = (self.vals[self.in1[i] as usize] | p.set1[1]) & p.keep0[1];
+        let c = (self.vals[self.in2[i] as usize] | p.set1[2]) & p.keep0[2];
+        let v = self.kinds[i].eval_u64(a, b, c);
+        let o = self.outs[i] as usize;
+        self.vals[o] = (v | self.set1[o]) & self.keep0[o];
     }
 
     /// Evaluate all segments in order.
@@ -268,7 +331,7 @@ impl ParallelSim {
         for i in 0..self.dff_d.len() {
             self.next[i] = self.vals[self.dff_d[i] as usize];
         }
-        for (&ff, &(s1, k0)) in &self.dff_patches {
+        for &(ff, (s1, k0)) in &self.dff_patches {
             let v = &mut self.next[ff as usize];
             *v = (*v | s1) & k0;
         }

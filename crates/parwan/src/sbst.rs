@@ -262,13 +262,26 @@ pub fn golden_cycles(test: &ParwanSelfTest) -> u64 {
     panic!("parwan self-test never reached its end marker");
 }
 
-/// Fault-simulate a self-test over the (collapsed) fault list.
-pub fn grade(core: &ParwanCore, test: &ParwanSelfTest, faults: &FaultList) -> CampaignResult {
+/// Fault-simulate a self-test over the (collapsed) fault list, sharded
+/// over `threads` worker threads (0 = auto, see
+/// [`campaign::default_threads`]). Results are bit-identical at every
+/// thread count.
+pub fn grade_threads(
+    core: &ParwanCore,
+    test: &ParwanSelfTest,
+    faults: &FaultList,
+    threads: usize,
+) -> CampaignResult {
     let budget = golden_cycles(test) + 32;
     let [early, late] = core.segments();
-    let mut sim = ParallelSim::with_segments(core.netlist(), &[early.to_vec(), late.to_vec()]);
-    let mut tb = ParwanSelfTestBench::new(core, &test.image, budget);
-    campaign::run(&mut sim, faults, &mut tb)
+    let sim = ParallelSim::with_segments(core.netlist(), &[early.to_vec(), late.to_vec()]);
+    let factory = || ParwanSelfTestBench::new(core, &test.image, budget);
+    campaign::run_parallel(&sim, faults, &factory, threads)
+}
+
+/// [`grade_threads`] with auto thread count.
+pub fn grade(core: &ParwanCore, test: &ParwanSelfTest, faults: &FaultList) -> CampaignResult {
+    grade_threads(core, test, faults, 0)
 }
 
 #[cfg(test)]

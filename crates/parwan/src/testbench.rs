@@ -1,7 +1,5 @@
 //! Scalar and 64-lane testbenches for the Parwan-class core.
 
-use std::collections::HashMap;
-
 use fault::campaign::Testbench;
 use fault::sim::ParallelSim;
 use netlist::sim::Simulator;
@@ -68,7 +66,12 @@ impl<'a> GateParwan<'a> {
 pub struct ParwanSelfTestBench<'a> {
     core: &'a ParwanCore,
     base: Vec<u8>,
-    overlays: Vec<HashMap<u16, u8>>,
+    // Flat per-lane overlays with generation tags (see
+    // `plasma::SelfTestBench`): entry `lane * 4096 + addr` is live iff
+    // its tag equals the current epoch, making `begin` O(1).
+    ovl_vals: Vec<u8>,
+    ovl_gens: Vec<u32>,
+    gen: u32,
     budget: u64,
     scratch: [u64; 64],
     bits: Vec<u64>,
@@ -82,7 +85,9 @@ impl<'a> ParwanSelfTestBench<'a> {
         ParwanSelfTestBench {
             core,
             base,
-            overlays: (0..64).map(|_| HashMap::new()).collect(),
+            ovl_vals: vec![0; 64 * 4096],
+            ovl_gens: vec![0; 64 * 4096],
+            gen: 1,
             budget,
             scratch: [0; 64],
             bits: Vec::new(),
@@ -90,17 +95,30 @@ impl<'a> ParwanSelfTestBench<'a> {
     }
 
     fn read(&self, lane: usize, addr: u16) -> u8 {
-        match self.overlays[lane].get(&addr) {
-            Some(&v) => v,
-            None => self.base[(addr & 0xFFF) as usize],
+        let i = (addr & 0xFFF) as usize;
+        let idx = lane * 4096 + i;
+        if self.ovl_gens[idx] == self.gen {
+            self.ovl_vals[idx]
+        } else {
+            self.base[i]
         }
+    }
+
+    fn write(&mut self, lane: usize, addr: u16, wdata: u8) {
+        let idx = lane * 4096 + (addr & 0xFFF) as usize;
+        self.ovl_vals[idx] = wdata;
+        self.ovl_gens[idx] = self.gen;
     }
 }
 
 impl Testbench for ParwanSelfTestBench<'_> {
     fn begin(&mut self, _sim: &mut ParallelSim) {
-        for o in &mut self.overlays {
-            o.clear();
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Tag wrap-around: stale tags could alias the new epoch, so
+            // reset them all and restart at 1.
+            self.ovl_gens.fill(0);
+            self.gen = 1;
         }
     }
 
@@ -115,7 +133,7 @@ impl Testbench for ParwanSelfTestBench<'_> {
             self.scratch[lane] = self.read(lane, addr) as u64;
             if (we_lanes >> lane) & 1 == 1 {
                 let wdata = sim.lane_word(wdata_nets, lane) as u8;
-                self.overlays[lane].insert(addr, wdata);
+                self.write(lane, addr, wdata);
             }
         }
         fault::sim::transpose_lanes(&self.scratch, 8, &mut self.bits);

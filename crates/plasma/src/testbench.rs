@@ -2,8 +2,6 @@
 //! runs and co-simulation, and a 64-lane one for fault-simulation
 //! campaigns.
 
-use std::collections::HashMap;
-
 use fault::campaign::Testbench;
 use fault::sim::ParallelSim;
 use mips::iss::{Bus, BusCycle, Memory};
@@ -107,7 +105,13 @@ pub struct SelfTestBench<'a> {
     core: &'a PlasmaCore,
     base: Vec<u32>,
     mask: usize,
-    overlays: Vec<HashMap<u32, u32>>,
+    // Flat per-lane write overlays with generation tags: the entry at
+    // `lane * words + i` is live iff its tag equals the current epoch,
+    // so `begin` is an O(1) epoch bump instead of 64 map clears and the
+    // read path is a branch on an array load instead of a hash probe.
+    ovl_vals: Vec<u32>,
+    ovl_gens: Vec<u32>,
+    gen: u32,
     budget: u64,
     rdata_scratch: [u64; 64],
     bits_scratch: Vec<u64>,
@@ -132,7 +136,9 @@ impl<'a> SelfTestBench<'a> {
             core,
             base,
             mask: words - 1,
-            overlays: (0..64).map(|_| HashMap::new()).collect(),
+            ovl_vals: vec![0; 64 * words],
+            ovl_gens: vec![0; 64 * words],
+            gen: 1,
             budget,
             rdata_scratch: [0; 64],
             bits_scratch: Vec::new(),
@@ -140,18 +146,22 @@ impl<'a> SelfTestBench<'a> {
     }
 
     fn read(&self, lane: usize, addr: u32) -> u32 {
-        let i = (addr >> 2) & self.mask as u32;
-        match self.overlays[lane].get(&i) {
-            Some(&v) => v,
-            None => self.base[i as usize],
+        let i = (addr as usize >> 2) & self.mask;
+        let idx = lane * (self.mask + 1) + i;
+        if self.ovl_gens[idx] == self.gen {
+            self.ovl_vals[idx]
+        } else {
+            self.base[i]
         }
     }
 
     fn write(&mut self, lane: usize, addr: u32, wdata: u32, be: u8) {
-        let i = (addr >> 2) & self.mask as u32;
-        let old = match self.overlays[lane].get(&i) {
-            Some(&v) => v,
-            None => self.base[i as usize],
+        let i = (addr as usize >> 2) & self.mask;
+        let idx = lane * (self.mask + 1) + i;
+        let old = if self.ovl_gens[idx] == self.gen {
+            self.ovl_vals[idx]
+        } else {
+            self.base[i]
         };
         let mut m = 0u32;
         for b in 0..4 {
@@ -159,14 +169,19 @@ impl<'a> SelfTestBench<'a> {
                 m |= 0xFF << (8 * b);
             }
         }
-        self.overlays[lane].insert(i, (old & !m) | (wdata & m));
+        self.ovl_vals[idx] = (old & !m) | (wdata & m);
+        self.ovl_gens[idx] = self.gen;
     }
 }
 
 impl Testbench for SelfTestBench<'_> {
     fn begin(&mut self, _sim: &mut ParallelSim) {
-        for o in &mut self.overlays {
-            o.clear();
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Tag wrap-around (once per 2^32 batches): stale tags could
+            // alias the new epoch, so reset them all and restart at 1.
+            self.ovl_gens.fill(0);
+            self.gen = 1;
         }
     }
 

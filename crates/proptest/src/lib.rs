@@ -1,0 +1,197 @@
+//! A minimal, std-only property-testing harness exposing the subset of
+//! the `proptest` crate's surface this workspace uses: the [`proptest!`]
+//! macro, [`prelude::any`], range strategies, `prop_assert*` macros and
+//! [`ProptestConfig`].
+//!
+//! The build environment has no crates.io access, so the real `proptest`
+//! cannot be fetched; this local crate shadows it via a workspace path
+//! dependency. Sampling is deterministic: every test derives its RNG
+//! stream from its own name, so failures reproduce exactly across runs
+//! and machines.
+
+#![warn(missing_docs)]
+
+/// Deterministic xorshift64* stream used to sample strategies.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seed the stream from a test name (stable across runs).
+    pub fn from_name(name: &str) -> Rng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Rng(h | 1)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A source of random values of one type — the strategy abstraction.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut Rng) -> Self::Value;
+}
+
+/// Full-range strategy for a primitive type (see [`prelude::any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` entry point: uniform over the whole domain of `T`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_range!(u8, u16, u32, u64, usize);
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Error type property bodies may return via `?` / `Ok(())`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @expand ($cfg); $($rest)* }
+    };
+    (@expand ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident
+        ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = ($cfg).cases;
+                let mut __rng = $crate::Rng::from_name(stringify!($name));
+                for __case in 0..cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    let __r: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __r {
+                        panic!("property {} failed at case {}: {}", stringify!($name), __case, e);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{ @expand ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Assert inside a property body (plain `assert!` semantics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property body (plain `assert_eq!` semantics).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// The glob-import surface tests use: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_and_result_bodies_work(a in any::<u32>()) {
+            let r: Result<u32, crate::TestCaseError> = Ok(a);
+            let b = r?;
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::Rng::from_name("t");
+        let mut b = crate::Rng::from_name("t");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -30,6 +30,11 @@ pub struct FlowOptions {
     pub cycle_margin: u64,
     /// Tester/CPU clock assumptions.
     pub cost_model: CostModel,
+    /// Campaign worker threads; 0 resolves via
+    /// [`campaign::default_threads`] (the `SBST_THREADS` environment
+    /// variable, else available parallelism). Results are bit-identical
+    /// at every thread count.
+    pub threads: usize,
 }
 
 impl Default for FlowOptions {
@@ -39,6 +44,7 @@ impl Default for FlowOptions {
             seed: 0xC0FFEE,
             cycle_margin: 64,
             cost_model: CostModel::default(),
+            threads: 0,
         }
     }
 }
@@ -95,17 +101,42 @@ pub fn fault_list(core: &PlasmaCore, opts: &FlowOptions) -> FaultList {
     }
 }
 
-/// Run a fault campaign of an arbitrary program over `faults` on `core`.
+/// Run a fault campaign of an arbitrary program over `faults` on `core`,
+/// sharded over `threads` worker threads (0 = auto, see
+/// [`campaign::default_threads`]). Every worker gets its own simulator
+/// clone and testbench; the result is bit-identical to a serial run.
+pub fn run_campaign_of_threads(
+    core: &PlasmaCore,
+    program: &mips::Program,
+    faults: &FaultList,
+    budget: u64,
+    threads: usize,
+) -> CampaignResult {
+    let [early, late] = core.segments();
+    let sim = ParallelSim::with_segments(core.netlist(), &[early.to_vec(), late.to_vec()]);
+    let factory = || SelfTestBench::new(core, program, MEM_BYTES, budget);
+    campaign::run_parallel(&sim, faults, &factory, threads)
+}
+
+/// [`run_campaign_of_threads`] with auto thread count.
 pub fn run_campaign_of(
     core: &PlasmaCore,
     program: &mips::Program,
     faults: &FaultList,
     budget: u64,
 ) -> CampaignResult {
-    let [early, late] = core.segments();
-    let mut sim = ParallelSim::with_segments(core.netlist(), &[early.to_vec(), late.to_vec()]);
-    let mut tb = SelfTestBench::new(core, program, MEM_BYTES, budget);
-    campaign::run(&mut sim, faults, &mut tb)
+    run_campaign_of_threads(core, program, faults, budget, 0)
+}
+
+/// [`run_campaign_of_threads`] for a generated phase program.
+pub fn run_campaign_threads(
+    core: &PlasmaCore,
+    selftest: &SelfTestProgram,
+    faults: &FaultList,
+    budget: u64,
+    threads: usize,
+) -> CampaignResult {
+    run_campaign_of_threads(core, &selftest.program, faults, budget, threads)
 }
 
 /// [`run_campaign_of`] for a generated phase program.
@@ -123,7 +154,13 @@ pub fn run_flow(core: &PlasmaCore, phase: Phase, opts: &FlowOptions) -> FlowRepo
     let selftest = build_program(phase).expect("phase program must assemble");
     let golden = golden_cycles(&selftest);
     let faults = fault_list(core, opts);
-    let campaign = run_campaign(core, &selftest, &faults, golden + opts.cycle_margin);
+    let campaign = run_campaign_threads(
+        core,
+        &selftest,
+        &faults,
+        golden + opts.cycle_margin,
+        opts.threads,
+    );
     let coverage = CoverageReport::from_campaign(core.netlist(), &campaign);
     let cost = opts.cost_model.cost(selftest.size_words(), golden);
     FlowReport {

@@ -1,0 +1,56 @@
+//! End-to-end determinism of parallel fault-simulation campaigns: the
+//! multi-threaded runner must produce detections bit-identical to the
+//! serial runner at every thread count, on both processor cores.
+//!
+//! The guarantee rests on batch independence — `run_batch` rebuilds the
+//! simulator state from scratch, so an outcome depends only on the
+//! injected faults and the testbench stimulus, never on which worker ran
+//! the batch or in what order.
+
+use fault::campaign;
+use fault::model::FaultList;
+use sbst::flow::{self, FlowOptions};
+use sbst::phases::{build_program, Phase};
+
+#[test]
+fn parwan_campaign_identical_across_thread_counts() {
+    let core = parwan::ParwanCore::build();
+    let faults = FaultList::extract(core.netlist()).collapsed(core.netlist());
+    let test = parwan::sbst::deterministic_selftest();
+    let serial = parwan::sbst::grade_threads(&core, &test, &faults, 1);
+    assert_eq!(serial.stats.threads, 1);
+    assert_eq!(serial.stats.batches, faults.len().div_ceil(63) as u64);
+    for threads in [2, 5, campaign::default_threads()] {
+        let par = parwan::sbst::grade_threads(&core, &test, &faults, threads);
+        assert_eq!(
+            par.detections, serial.detections,
+            "{threads} threads changed the detections"
+        );
+        assert_eq!(par.stats.batches, serial.stats.batches);
+        assert_eq!(par.stats.cycles_simulated, serial.stats.cycles_simulated);
+        assert_eq!(par.stats.faults_dropped, serial.stats.faults_dropped);
+        assert_eq!(par.coverage(), serial.coverage());
+    }
+}
+
+#[test]
+fn plasma_campaign_identical_serial_vs_parallel() {
+    // A small fault sample keeps this fast while still spanning several
+    // batches of the real self-test program on the real core.
+    let core = plasma::PlasmaCore::build(plasma::PlasmaConfig::default());
+    let opts = FlowOptions {
+        fault_sample: Some(300),
+        ..Default::default()
+    };
+    let selftest = build_program(Phase::A).expect("assembles");
+    let golden = flow::golden_cycles(&selftest);
+    let faults = flow::fault_list(&core, &opts);
+    assert!(faults.len() > 126, "need 3+ batches");
+    let budget = golden + opts.cycle_margin;
+    let serial = flow::run_campaign_threads(&core, &selftest, &faults, budget, 1);
+    let par = flow::run_campaign_threads(&core, &selftest, &faults, budget, 3);
+    assert_eq!(par.detections, serial.detections);
+    assert_eq!(par.stats.batches, serial.stats.batches);
+    assert_eq!(par.stats.cycles_simulated, serial.stats.cycles_simulated);
+    assert_eq!(par.stats.threads, 3);
+}
