@@ -8,11 +8,22 @@
 //! tables --threads 4 --table 5 # campaigns on 4 worker threads
 //! tables --stats               # campaign throughput benchmark
 //!                              #   -> results/BENCH_campaign.json
+//! tables --report              # observability report (provenance,
+//!                              #   coverage timeline, latency histogram)
+//!                              #   -> results/REPORT.md + REPORT.json
+//!                              #      + results/TRACE_report.jsonl
+//! tables --escapes             # undetected faults + SCOAP testability
+//!                              #   -> results/ESCAPES.txt
 //! ```
+//!
+//! `--progress` adds a live batch ticker on stderr; `--trace FILE`
+//! writes structured campaign events as JSONL; `--stride N` sets the
+//! coverage-over-time sample stride of `--report` (default 500 cycles).
 //!
 //! Campaign thread count defaults to the `SBST_THREADS` environment
 //! variable, else the machine's available parallelism; coverage numbers
-//! are bit-identical at every thread count.
+//! are bit-identical at every thread count — with or without
+//! observability enabled.
 
 use std::io::Write as _;
 
@@ -24,6 +35,9 @@ fn main() {
     let mut which: Option<String> = None;
     let mut json_out: Option<String> = None;
     let mut stats = false;
+    let mut report = false;
+    let mut escapes = false;
+    let mut stride = 500u64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,10 +66,26 @@ fn main() {
                     .expect("--threads needs a number");
             }
             "--stats" => stats = true,
+            "--report" => report = true,
+            "--escapes" => escapes = true,
+            "--progress" => opts.progress = true,
+            "--trace" => {
+                opts.trace_path = Some(it.next().expect("--trace needs a path").into());
+            }
+            "--stride" => {
+                stride = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--stride needs a cycle count");
+            }
             "--json" => json_out = Some(it.next().expect("--json needs a path").clone()),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: tables [--all | --table <id>] [--full | --sample N] [--seed N] [--threads N] [--stats] [--json file]");
+                eprintln!(
+                    "usage: tables [--all | --table <id>] [--full | --sample N] [--seed N] \
+                     [--threads N] [--stats | --report | --escapes] [--progress] \
+                     [--trace file] [--stride N] [--json file]"
+                );
                 std::process::exit(2);
             }
         }
@@ -70,6 +100,33 @@ fn main() {
         let s = serde_json::to_string_pretty(&e.data).expect("serialize");
         std::fs::write(path, s).expect("write campaign stats");
         eprintln!("[campaign stats written to {path}]");
+        return;
+    }
+
+    if report {
+        std::fs::create_dir_all("results").expect("create results dir");
+        if opts.trace_path.is_none() {
+            opts.trace_path = Some("results/TRACE_report.jsonl".into());
+        }
+        let e = bench::observability_report(&opts, stride);
+        println!("{}", e.text);
+        std::fs::write("results/REPORT.md", &e.text).expect("write REPORT.md");
+        let s = serde_json::to_string_pretty(&e.data).expect("serialize");
+        std::fs::write("results/REPORT.json", s).expect("write REPORT.json");
+        eprintln!(
+            "[report written to results/REPORT.md + REPORT.json; trace in {}]",
+            opts.trace_path.as_ref().unwrap().display()
+        );
+        return;
+    }
+
+    if escapes {
+        let e = bench::escapes_report(&opts);
+        println!("==== {} — {} ====", e.id, e.title);
+        println!("{}", e.text);
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write("results/ESCAPES.txt", &e.text).expect("write ESCAPES.txt");
+        eprintln!("[escape dump written to results/ESCAPES.txt]");
         return;
     }
 

@@ -304,6 +304,10 @@ pub struct RunOptions {
     /// available parallelism). Coverage numbers are identical at every
     /// thread count.
     pub threads: usize,
+    /// Live batch-progress ticker on stderr (`--progress`).
+    pub progress: bool,
+    /// JSONL trace sink for campaign events (`--trace`).
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -312,6 +316,8 @@ impl Default for RunOptions {
             sample: Some(8000),
             seed: 0xC0FFEE,
             threads: 0,
+            progress: false,
+            trace_path: None,
         }
     }
 }
@@ -322,6 +328,8 @@ impl RunOptions {
             fault_sample: self.sample,
             seed: self.seed,
             threads: self.threads,
+            progress: self.progress,
+            trace_path: self.trace_path.clone(),
             ..Default::default()
         }
     }
@@ -806,6 +814,23 @@ pub fn run_all(opts: &RunOptions) -> Vec<Experiment> {
     run_selected(opts, |_| true)
 }
 
+fn workers_json(s: &fault::campaign::CampaignStats) -> serde_json::Value {
+    serde_json::Value::Array(
+        s.workers
+            .iter()
+            .map(|w| {
+                serde_json::json!({
+                    "worker": w.worker,
+                    "batches": w.batches,
+                    "cycles": w.cycles,
+                    "wall_seconds": w.wall_seconds,
+                    "mlane_cycles_per_sec": w.mlane_cycles_per_sec(),
+                })
+            })
+            .collect(),
+    )
+}
+
 fn stats_json(r: &CampaignResult) -> serde_json::Value {
     let s = &r.stats;
     serde_json::json!({
@@ -817,6 +842,8 @@ fn stats_json(r: &CampaignResult) -> serde_json::Value {
         "budget_cycles": s.budget_cycles,
         "wall_seconds": s.wall_seconds,
         "mlane_cycles_per_sec": s.mlane_cycles_per_sec(),
+        "latency": s.latency.to_json(),
+        "workers": workers_json(s),
     })
 }
 
@@ -887,6 +914,201 @@ pub fn campaign_benchmark(opts: &RunOptions) -> Experiment {
             "runs": runs,
             "speedup": speedup,
         }),
+    )
+}
+
+fn worker_table(s: &fault::campaign::CampaignStats) -> String {
+    let mut t = format!(
+        "{:<8} {:>8} {:>12} {:>10} {:>14}\n",
+        "worker", "batches", "cycles", "wall (s)", "Mlane-cyc/s"
+    );
+    for w in &s.workers {
+        t.push_str(&format!(
+            "{:<8} {:>8} {:>12} {:>10.3} {:>14.2}\n",
+            w.worker,
+            w.batches,
+            w.cycles,
+            w.wall_seconds,
+            w.mlane_cycles_per_sec()
+        ));
+    }
+    t
+}
+
+fn md_section(md: &mut String, title: &str, body: &str) {
+    md.push_str(&format!("## {title}\n\n```text\n{body}```\n\n"));
+}
+
+/// The observability report behind `tables --report`: run the Phase A+B
+/// flow with detection provenance, a coverage-over-time timeline and the
+/// detection-latency histogram, rendered as a markdown document (written
+/// to `results/REPORT.md` by the driver) plus a machine-readable payload
+/// (`results/REPORT.json`).
+pub fn observability_report(opts: &RunOptions, stride: u64) -> Experiment {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let mut fo = opts.flow_options();
+    let stride = stride.max(1);
+    fo.timeline_stride = stride;
+    let r = flow::run_flow(&core, Phase::B, &fo);
+    let tl = r.timeline.as_ref().expect("stride > 0 yields a timeline");
+    let s = &r.campaign.stats;
+
+    let mut md = String::from("# SBST campaign observability report\n\n");
+    md.push_str(&format!(
+        "- phase: {}\n- program: {} words, golden run {} cycles\n\
+         - faults: {} collapsed{}\n- budget: {} cycles/batch, {} batches\n\
+         - threads: {}, wall {:.3} s\n- overall fault coverage: {:.2}%\n\n",
+        r.selftest.phase.name(),
+        r.selftest.size_words(),
+        r.golden_cycles,
+        r.campaign.faults.len(),
+        match opts.sample {
+            Some(n) => format!(" (stratified sample, target {n})"),
+            None => String::new(),
+        },
+        r.golden_cycles + fo.cycle_margin,
+        s.batches,
+        s.threads,
+        s.wall_seconds,
+        r.coverage.overall_pct,
+    ));
+    md_section(&mut md, "Per-component coverage", &r.coverage.to_table());
+    let mut attr = r.provenance.to_table();
+    attr.push_str(
+        "\n(rows: SBST routine executing at the detection cycle; columns:\n\
+         hardware component the detected fault lives in; weighted counts)\n",
+    );
+    md_section(&mut md, "Detection attribution by routine", &attr);
+    md_section(
+        &mut md,
+        &format!("Coverage over time (stride {stride} cycles)"),
+        &tl.to_table(),
+    );
+    md_section(
+        &mut md,
+        "Detection latency (cycles until first bus divergence)",
+        &s.latency.to_table(),
+    );
+    md_section(&mut md, "Worker throughput", &worker_table(s));
+
+    let data = serde_json::json!({
+        "phase": r.selftest.phase.name(),
+        "faults": r.campaign.faults.len(),
+        "golden_cycles": r.golden_cycles,
+        "overall_pct": r.coverage.overall_pct,
+        "coverage": coverage_json(&r.coverage),
+        "provenance": r.provenance.to_json(),
+        "timeline": {
+            "stride": tl.stride,
+            "cycles": tl.cycles.iter().map(|&c| serde_json::Value::U64(c)).collect::<Vec<_>>(),
+            "components": tl.components.clone(),
+            "rows": tl.rows.iter().map(|row| {
+                serde_json::Value::Array(row.iter().map(|&p| serde_json::Value::F64(p)).collect())
+            }).collect::<Vec<_>>(),
+            "overall": tl.overall.iter().map(|&p| serde_json::Value::F64(p)).collect::<Vec<_>>(),
+        },
+        "latency": s.latency.to_json(),
+        "workers": workers_json(s),
+    });
+    experiment(
+        "report",
+        "Campaign observability report (provenance, timeline, latency)",
+        md,
+        data,
+    )
+}
+
+fn fault_net(nl: &netlist::Netlist, site: fault::model::FaultSite) -> netlist::Net {
+    use fault::model::FaultSite;
+    match site {
+        FaultSite::Stem(n) => n,
+        FaultSite::Pin { gate, pin } => nl.gates()[gate as usize].inputs[pin as usize],
+        FaultSite::DffD(ff) => nl.dffs()[ff as usize].d,
+    }
+}
+
+/// The escape dump behind `tables --escapes`: every undetected fault of
+/// a Phase A+B campaign, grouped by component, with its site description
+/// and the SCOAP testability (CC0/CC1/CO) of the faulted net — the
+/// worklist for the next round of routine development.
+pub fn escapes_report(opts: &RunOptions) -> Experiment {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let fo = opts.flow_options();
+    let r = flow::run_flow(&core, Phase::B, &fo);
+    let nl = core.netlist();
+    let scoap = fault::scoap::analyze(nl);
+    let names = nl.component_names();
+
+    // Escapes per component, in netlist component order.
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for (i, d) in r.campaign.detections.iter().enumerate() {
+        if !d.is_detected() {
+            groups[r.campaign.faults.component[i].index()].push(i);
+        }
+    }
+    let total_w: u64 = r.campaign.faults.weight.iter().map(|&w| w as u64).sum();
+    let esc_w: u64 = groups
+        .iter()
+        .flatten()
+        .map(|&i| r.campaign.faults.weight[i] as u64)
+        .sum();
+    let mut text = format!(
+        "escapes after {}: {} classes, {} weighted ({:.2}% of {} weighted faults)\n",
+        r.selftest.phase.name(),
+        groups.iter().map(Vec::len).sum::<usize>(),
+        esc_w,
+        100.0 * esc_w as f64 / total_w.max(1) as f64,
+        total_w,
+    );
+    let mut rows = Vec::new();
+    for (c, group) in groups.iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let gw: u64 = group.iter().map(|&i| r.campaign.faults.weight[i] as u64).sum();
+        text.push_str(&format!(
+            "\n{} — {} classes, {} weighted\n",
+            names[c],
+            group.len(),
+            gw
+        ));
+        text.push_str(&format!(
+            "  {:<16} {:>3} {:>6} {:>6} {:>6}\n",
+            "fault", "w", "CC0", "CC1", "CO"
+        ));
+        // Hardest-to-observe first: those need new observation points,
+        // not just new stimulus.
+        let mut sorted = group.clone();
+        sorted.sort_by_key(|&i| {
+            let n = fault_net(nl, r.campaign.faults.faults[i].site).index();
+            std::cmp::Reverse(scoap.co[n])
+        });
+        for &i in &sorted {
+            let f = &r.campaign.faults.faults[i];
+            let n = fault_net(nl, f.site).index();
+            text.push_str(&format!(
+                "  {:<16} {:>3} {:>6} {:>6} {:>6}\n",
+                f.describe(),
+                r.campaign.faults.weight[i],
+                scoap.cc0[n],
+                scoap.cc1[n],
+                scoap.co[n],
+            ));
+            rows.push(serde_json::json!({
+                "component": names[c].as_str(),
+                "fault": f.describe(),
+                "weight": r.campaign.faults.weight[i],
+                "cc0": scoap.cc0[n],
+                "cc1": scoap.cc1[n],
+                "co": scoap.co[n],
+            }));
+        }
+    }
+    experiment(
+        "escapes",
+        "Undetected faults by component with SCOAP testability",
+        text,
+        serde_json::Value::Array(rows),
     )
 }
 

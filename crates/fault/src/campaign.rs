@@ -1,4 +1,5 @@
-//! Fault-simulation campaigns: batching, fault dropping, detection records.
+//! Fault-simulation campaigns: batching, fault dropping, detection
+//! records, and execution observability.
 //!
 //! A campaign simulates every fault in a [`FaultList`] against a stimulus
 //! source, 63 faults at a time (lane 0 carries the fault-free reference),
@@ -6,17 +7,31 @@
 //! machine's primary-output behaviour diverges from the reference. Batches
 //! end early once all their faults are detected (fault dropping).
 //!
-//! Batches are independent of each other (the simulator state is rebuilt
-//! from scratch per batch), which makes the campaign embarrassingly
-//! parallel: [`run_parallel`] shards the batch sequence over worker
-//! threads — N threads × 64 lanes each — and produces a result
-//! bit-identical to the serial [`run`].
+//! Two runners share all of that machinery:
+//!
+//! * [`run`] executes the batch sequence serially on one simulator;
+//! * [`run_parallel`] shards it over worker threads (N threads × 64
+//!   lanes each) pulling batches off an atomic cursor. Batches are
+//!   independent — the simulator state is rebuilt from scratch per batch
+//!   — so the merged result is bit-identical to the serial one at every
+//!   thread count.
+//!
+//! Both have `*_with` variants taking [`CampaignHooks`]: an optional
+//! structured [`obs::Tracer`] (JSONL `campaign`/`batch` events with
+//! thread ids and wall-clock deltas) and an optional [`obs::Progress`]
+//! ticker. Every run also folds execution metrics into
+//! [`CampaignStats`]: cycles vs budget, a detection-latency histogram,
+//! and per-worker batch/cycle/wall throughput. With hooks disabled (the
+//! default) the instrumentation reduces to one branch per *batch*, so
+//! the simulation hot loop is untouched.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use netlist::Netlist;
+use obs::{LatencyHistogram, Progress, Tracer};
+use serde_json::Value;
 
 use crate::model::{Fault, FaultList};
 use crate::sim::ParallelSim;
@@ -59,9 +74,34 @@ impl Detection {
     }
 }
 
+/// Per-worker execution metrics of one campaign run (one entry for a
+/// serial run). Batch runtimes are uneven because of fault dropping, so
+/// these expose how well the dynamic batch cursor balanced the load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStats {
+    /// Worker index (spawn order; 0 for the serial runner).
+    pub worker: usize,
+    /// Batches this worker pulled off the cursor.
+    pub batches: u64,
+    /// Cycles this worker simulated.
+    pub cycles: u64,
+    /// Wall-clock seconds this worker spent in its batch loop.
+    pub wall_seconds: f64,
+}
+
+impl WorkerStats {
+    /// This worker's throughput in millions of lane-cycles per second.
+    pub fn mlane_cycles_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.cycles as f64 * 64.0) / self.wall_seconds / 1e6
+    }
+}
+
 /// Measured execution statistics of a campaign run — the observability
 /// layer that turns "it feels faster" into numbers.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignStats {
     /// Number of 63-fault batches simulated.
     pub batches: u64,
@@ -77,6 +117,11 @@ pub struct CampaignStats {
     pub wall_seconds: f64,
     /// Worker threads used (1 = serial).
     pub threads: usize,
+    /// Detection-latency histogram: cycle of first divergence, in
+    /// power-of-two buckets.
+    pub latency: LatencyHistogram,
+    /// Per-worker batch/cycle/wall metrics (one entry when serial).
+    pub workers: Vec<WorkerStats>,
 }
 
 impl Default for CampaignStats {
@@ -88,6 +133,8 @@ impl Default for CampaignStats {
             faults_dropped: 0,
             wall_seconds: 0.0,
             threads: 1,
+            latency: LatencyHistogram::new(),
+            workers: Vec::new(),
         }
     }
 }
@@ -101,6 +148,49 @@ impl CampaignStats {
         }
         (self.cycles_simulated as f64 * 64.0) / self.wall_seconds / 1e6
     }
+}
+
+/// Latency histogram over a detection vector (cycle of first
+/// divergence for every detected fault).
+fn latency_of(detections: &[Detection]) -> LatencyHistogram {
+    LatencyHistogram::from_cycles(detections.iter().filter_map(|d| match d {
+        Detection::DetectedAt(c) => Some(*c),
+        Detection::Undetected => None,
+    }))
+}
+
+/// Observability hooks a campaign runner threads through its batch loop:
+/// a structured tracer for `campaign`/`batch` events and an optional
+/// live-progress ticker. Both are cheap clonable handles; the default is
+/// fully disabled and adds one branch per batch.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignHooks {
+    /// Structured event sink (disabled by default).
+    pub tracer: Tracer,
+    /// Live batch-progress counters + stderr ticker.
+    pub progress: Option<Progress>,
+}
+
+impl CampaignHooks {
+    /// Hooks with everything disabled (what [`run`]/[`run_parallel`]
+    /// use).
+    pub fn none() -> CampaignHooks {
+        CampaignHooks::default()
+    }
+
+    /// Hooks writing trace events to `tracer`.
+    pub fn with_tracer(tracer: Tracer) -> CampaignHooks {
+        CampaignHooks {
+            tracer,
+            progress: None,
+        }
+    }
+}
+
+/// Number of 63-fault batches a campaign over `faults` will run — the
+/// `total` to size an [`obs::Progress`] ticker with.
+pub fn batch_count(faults: &FaultList) -> u64 {
+    faults.len().div_ceil(63) as u64
 }
 
 /// Result of running a campaign over a fault list.
@@ -177,7 +267,10 @@ impl CampaignResult {
                 (_, Detection::DetectedAt(y)) => Detection::DetectedAt(*y),
                 _ => Detection::Undetected,
             })
-            .collect();
+            .collect::<Vec<_>>();
+        let mut workers = self.stats.workers.clone();
+        workers.extend(other.stats.workers.iter().cloned());
+        let latency = latency_of(&detections);
         CampaignResult {
             faults: self.faults.clone(),
             detections,
@@ -188,6 +281,8 @@ impl CampaignResult {
                 faults_dropped: self.stats.faults_dropped + other.stats.faults_dropped,
                 wall_seconds: self.stats.wall_seconds + other.stats.wall_seconds,
                 threads: self.stats.threads.max(other.stats.threads),
+                latency,
+                workers,
             },
         }
     }
@@ -240,33 +335,134 @@ fn run_batch(
     budget
 }
 
+/// Emit the `campaign_begin` event shared by both runners.
+fn trace_campaign_begin(
+    tracer: &Tracer,
+    mode: &str,
+    sim: &ParallelSim,
+    faults: &FaultList,
+    budget: u64,
+    threads: usize,
+) {
+    if !tracer.enabled() {
+        return;
+    }
+    let g = sim.stats();
+    tracer.event(
+        "campaign_begin",
+        &[
+            ("mode", Value::String(mode.to_string())),
+            ("faults", Value::U64(faults.len() as u64)),
+            ("batches", Value::U64(faults.len().div_ceil(63) as u64)),
+            ("budget", Value::U64(budget)),
+            ("threads", Value::U64(threads as u64)),
+            ("nets", Value::U64(g.nets as u64)),
+            ("gates", Value::U64(g.gates as u64)),
+            ("dffs", Value::U64(g.dffs as u64)),
+            ("segments", Value::U64(g.segments as u64)),
+        ],
+    );
+}
+
+/// Emit the per-batch event (both runners; thread id comes from the
+/// tracer).
+fn trace_batch(tracer: &Tracer, batch: usize, out: &[Detection], cycles: u64) {
+    if !tracer.enabled() {
+        return;
+    }
+    let detected = out.iter().filter(|d| d.is_detected()).count();
+    tracer.event(
+        "batch",
+        &[
+            ("batch", Value::U64(batch as u64)),
+            ("faults", Value::U64(out.len() as u64)),
+            ("cycles", Value::U64(cycles)),
+            ("detected", Value::U64(detected as u64)),
+        ],
+    );
+}
+
+/// Emit the `campaign_end` event and flush the sink.
+fn trace_campaign_end(tracer: &Tracer, stats: &CampaignStats) {
+    if !tracer.enabled() {
+        return;
+    }
+    tracer.event(
+        "campaign_end",
+        &[
+            ("cycles", Value::U64(stats.cycles_simulated)),
+            ("budget_cycles", Value::U64(stats.budget_cycles)),
+            ("dropped", Value::U64(stats.faults_dropped)),
+            ("wall_us", Value::U64((stats.wall_seconds * 1e6) as u64)),
+        ],
+    );
+    tracer.flush();
+}
+
 /// Run a campaign: simulate every fault in `faults` against the stimulus
 /// of `tb`, in batches of 63 plus the lane-0 reference.
 ///
 /// `sim` must have been built over the same netlist the faults refer to;
 /// it is reused across batches (cheaper than reallocating).
 pub fn run(sim: &mut ParallelSim, faults: &FaultList, tb: &mut dyn Testbench) -> CampaignResult {
+    run_with(sim, faults, tb, &CampaignHooks::none())
+}
+
+/// [`run`] with observability hooks: emits `campaign_begin`, one `batch`
+/// event per batch, and `campaign_end` to `hooks.tracer`, and ticks
+/// `hooks.progress` once per batch. Detections are identical to [`run`]
+/// — the hooks never touch simulation state.
+pub fn run_with(
+    sim: &mut ParallelSim,
+    faults: &FaultList,
+    tb: &mut dyn Testbench,
+    hooks: &CampaignHooks,
+) -> CampaignResult {
     let t0 = Instant::now();
     let mut detections = vec![Detection::Undetected; faults.len()];
     let budget = tb.cycles();
+    trace_campaign_begin(&hooks.tracer, "serial", sim, faults, budget, 1);
     let mut cycles = 0u64;
     let mut batches = 0u64;
-    for (batch, out) in faults.faults.chunks(63).zip(detections.chunks_mut(63)) {
-        cycles += run_batch(sim, tb, batch, budget, out);
+    for (b, (batch, out)) in faults
+        .faults
+        .chunks(63)
+        .zip(detections.chunks_mut(63))
+        .enumerate()
+    {
+        let c = run_batch(sim, tb, batch, budget, out);
+        cycles += c;
         batches += 1;
+        trace_batch(&hooks.tracer, b, out, c);
+        if let Some(p) = &hooks.progress {
+            p.inc(1);
+        }
     }
+    let wall = t0.elapsed().as_secs_f64();
     let dropped = detections.iter().filter(|d| d.is_detected()).count() as u64;
+    let stats = CampaignStats {
+        batches,
+        cycles_simulated: cycles,
+        budget_cycles: batches * budget,
+        faults_dropped: dropped,
+        wall_seconds: wall,
+        threads: 1,
+        latency: latency_of(&detections),
+        workers: vec![WorkerStats {
+            worker: 0,
+            batches,
+            cycles,
+            wall_seconds: wall,
+        }],
+    };
+    trace_campaign_end(&hooks.tracer, &stats);
+    if let Some(p) = &hooks.progress {
+        p.finish();
+    }
     CampaignResult {
         faults: faults.clone(),
         detections,
-        stats: CampaignStats {
-            batches,
-            cycles_simulated: cycles,
-            budget_cycles: batches * budget,
-            faults_dropped: dropped,
-            wall_seconds: t0.elapsed().as_secs_f64(),
-            threads: 1,
-        },
+        stats,
     }
 }
 
@@ -321,6 +517,20 @@ pub fn run_parallel<F: TestbenchFactory>(
     factory: &F,
     threads: usize,
 ) -> CampaignResult {
+    run_parallel_with(proto, faults, factory, threads, &CampaignHooks::none())
+}
+
+/// [`run_parallel`] with observability hooks. Trace events carry the
+/// emitting worker's thread id; `hooks.progress` is ticked once per
+/// completed batch across all workers. The hooks never touch simulation
+/// state, so detections remain bit-identical to the serial runner.
+pub fn run_parallel_with<F: TestbenchFactory>(
+    proto: &ParallelSim,
+    faults: &FaultList,
+    factory: &F,
+    threads: usize,
+    hooks: &CampaignHooks,
+) -> CampaignResult {
     let threads = if threads == 0 {
         default_threads()
     } else {
@@ -331,54 +541,79 @@ pub fn run_parallel<F: TestbenchFactory>(
     if workers == 1 {
         let mut sim = proto.clone();
         let mut tb = factory.create();
-        return run(&mut sim, faults, &mut tb);
+        return run_with(&mut sim, faults, &mut tb, hooks);
     }
 
     let t0 = Instant::now();
     let budget = factory.create().cycles();
+    trace_campaign_begin(&hooks.tracer, "parallel", proto, faults, budget, workers);
     let mut detections = vec![Detection::Undetected; faults.len()];
     // One uncontended Mutex per batch slice: a worker locks only the
     // batches the cursor hands it, so slices stay disjoint and safe.
     let slots: Vec<Mutex<&mut [Detection]>> =
         detections.chunks_mut(63).map(Mutex::new).collect();
     let cursor = AtomicUsize::new(0);
-    let cycles_total = std::thread::scope(|s| {
+    let (batches_ref, slots_ref, cursor_ref) = (&batches, &slots, &cursor);
+    let mut worker_stats = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                let (batches, slots, cursor) = (batches_ref, slots_ref, cursor_ref);
+                s.spawn(move || {
+                    let tw = Instant::now();
                     let mut sim = proto.clone();
                     let mut tb = factory.create();
                     let mut cycles = 0u64;
+                    let mut done = 0u64;
                     loop {
                         let b = cursor.fetch_add(1, Ordering::Relaxed);
                         if b >= batches.len() {
                             break;
                         }
                         let mut out = slots[b].lock().expect("batch slot poisoned");
-                        cycles += run_batch(&mut sim, &mut tb, batches[b], budget, &mut out);
+                        let c = run_batch(&mut sim, &mut tb, batches[b], budget, &mut out);
+                        cycles += c;
+                        done += 1;
+                        trace_batch(&hooks.tracer, b, &out, c);
+                        if let Some(p) = &hooks.progress {
+                            p.inc(1);
+                        }
                     }
-                    cycles
+                    WorkerStats {
+                        worker: w,
+                        batches: done,
+                        cycles,
+                        wall_seconds: tw.elapsed().as_secs_f64(),
+                    }
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("campaign worker panicked"))
-            .sum::<u64>()
+            .collect::<Vec<_>>()
     });
     drop(slots);
+    worker_stats.sort_by_key(|w| w.worker);
+    let cycles_total: u64 = worker_stats.iter().map(|w| w.cycles).sum();
     let dropped = detections.iter().filter(|d| d.is_detected()).count() as u64;
+    let stats = CampaignStats {
+        batches: batches.len() as u64,
+        cycles_simulated: cycles_total,
+        budget_cycles: batches.len() as u64 * budget,
+        faults_dropped: dropped,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        threads: workers,
+        latency: latency_of(&detections),
+        workers: worker_stats,
+    };
+    trace_campaign_end(&hooks.tracer, &stats);
+    if let Some(p) = &hooks.progress {
+        p.finish();
+    }
     CampaignResult {
         faults: faults.clone(),
         detections,
-        stats: CampaignStats {
-            batches: batches.len() as u64,
-            cycles_simulated: cycles_total,
-            budget_cycles: batches.len() as u64 * budget,
-            faults_dropped: dropped,
-            wall_seconds: t0.elapsed().as_secs_f64(),
-            threads: workers,
-        },
+        stats,
     }
 }
 

@@ -1,10 +1,11 @@
 //! Per-component coverage reporting — the machinery behind the paper's
 //! Table 5 ("fault coverage on Plasma/MIPS with successive phase test
-//! development").
+//! development") — plus coverage-over-time curves sampled from the
+//! detection records.
 
 use netlist::Netlist;
 
-use crate::campaign::CampaignResult;
+use crate::campaign::{CampaignResult, Detection};
 
 /// One Table 5 row: a component's coverage and its *missed overall fault
 /// coverage* (MOFC) — the share of the whole processor's faults that
@@ -116,6 +117,119 @@ impl CoverageReport {
     }
 }
 
+/// Per-component coverage sampled at a fixed cycle stride — the
+/// "coverage evolving over the test program" curve the paper's per-phase
+/// tables summarize at a single endpoint.
+///
+/// Built purely from the recorded first-detection cycles, so it costs
+/// nothing during simulation: a fault counts as detected at sample cycle
+/// `t` iff its `DetectedAt` cycle is ≤ `t`.
+#[derive(Debug, Clone)]
+pub struct CoverageTimeline {
+    /// Sample stride in cycles.
+    pub stride: u64,
+    /// Sample points (ascending; always ends at the last cycle any
+    /// detection occurred, rounded up to a stride multiple).
+    pub cycles: Vec<u64>,
+    /// Component names, in netlist order.
+    pub components: Vec<String>,
+    /// `rows[s][c]` = weighted coverage percent of component `c` at
+    /// sample `s`.
+    pub rows: Vec<Vec<f64>>,
+    /// Overall weighted coverage percent at each sample.
+    pub overall: Vec<f64>,
+}
+
+impl CoverageTimeline {
+    /// Sample the campaign's detection records every `stride` cycles
+    /// (`stride` ≥ 1; the final sample covers the last detection).
+    pub fn from_campaign(
+        netlist: &Netlist,
+        result: &CampaignResult,
+        stride: u64,
+    ) -> CoverageTimeline {
+        let stride = stride.max(1);
+        let n = netlist.component_names().len();
+        let mut total = vec![0u64; n];
+        let mut grand_total = 0u64;
+        // (cycle, component, weight) per detected fault, sorted by cycle.
+        let mut events: Vec<(u64, usize, u64)> = Vec::new();
+        for i in 0..result.faults.len() {
+            let c = result.faults.component[i].index();
+            let w = result.faults.weight[i] as u64;
+            total[c] += w;
+            grand_total += w;
+            if let Detection::DetectedAt(cycle) = result.detections[i] {
+                events.push((cycle, c, w));
+            }
+        }
+        events.sort_unstable();
+        let last_cycle = events.last().map(|e| e.0).unwrap_or(0);
+        let samples = last_cycle / stride + 1;
+        let mut cycles = Vec::with_capacity(samples as usize + 1);
+        let mut rows = Vec::with_capacity(samples as usize + 1);
+        let mut overall = Vec::with_capacity(samples as usize + 1);
+        let mut detected = vec![0u64; n];
+        let mut grand_detected = 0u64;
+        let mut next_event = 0usize;
+        for s in 0..=samples {
+            let t = s * stride;
+            while next_event < events.len() && events[next_event].0 <= t {
+                let (_, c, w) = events[next_event];
+                detected[c] += w;
+                grand_detected += w;
+                next_event += 1;
+            }
+            cycles.push(t);
+            rows.push(
+                (0..n)
+                    .map(|c| {
+                        if total[c] == 0 {
+                            100.0
+                        } else {
+                            100.0 * detected[c] as f64 / total[c] as f64
+                        }
+                    })
+                    .collect(),
+            );
+            overall.push(if grand_total == 0 {
+                100.0
+            } else {
+                100.0 * grand_detected as f64 / grand_total as f64
+            });
+        }
+        CoverageTimeline {
+            stride,
+            cycles,
+            components: netlist.component_names().to_vec(),
+            rows,
+            overall,
+        }
+    }
+
+    /// Render as an aligned text table: one row per sample cycle, one
+    /// column per component plus the overall line.
+    pub fn to_table(&self) -> String {
+        let mut s = format!("{:>9}", "cycle");
+        for name in &self.components {
+            s.push_str(&format!(" {:>8}", truncate(name, 8)));
+        }
+        s.push_str(&format!(" {:>8}\n", "OVERALL"));
+        for (k, &t) in self.cycles.iter().enumerate() {
+            s.push_str(&format!("{t:>9}"));
+            for c in 0..self.components.len() {
+                s.push_str(&format!(" {:>8.2}", self.rows[k][c]));
+            }
+            s.push_str(&format!(" {:>8.2}\n", self.overall[k]));
+        }
+        s
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    &s[..s.len().min(n)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +269,137 @@ mod tests {
         assert!((mofc_sum - (100.0 - report.overall_pct)).abs() < 1e-9);
         let table = report.to_table();
         assert!(table.contains("xorpart") && table.contains("TOTAL"));
+    }
+
+    /// A two-component sequential design whose second component only
+    /// becomes observable after a few cycles, so the timeline actually
+    /// has structure.
+    fn staged_netlist() -> netlist::Netlist {
+        let mut b = NetlistBuilder::new("staged");
+        let a = b.inputs("a", 8);
+        let c = b.inputs("b", 8);
+        b.begin_component("fast");
+        let x = b.xor_word(&a, &c);
+        b.end_component();
+        b.begin_component("slow");
+        let q1 = b.dff_word(&x, 0);
+        let q2 = b.dff_word(&q1, 0);
+        let y = b.and_word(&q2, &a);
+        b.end_component();
+        b.outputs("x", &x);
+        b.outputs("y", &y);
+        b.finish().unwrap()
+    }
+
+    fn staged_vectors() -> Vec<Vec<(&'static str, u64)>> {
+        (0..24u64)
+            .map(|v| vec![("a", (v * 37) & 0xFF), ("b", (v * 101 + 13) & 0xFF)])
+            .collect()
+    }
+
+    #[test]
+    fn timeline_is_monotone_and_converges_to_report() {
+        let nl = staged_netlist();
+        let faults = FaultList::extract(&nl).collapsed(&nl);
+        let res = run_vectors(&nl, &faults, &staged_vectors());
+        let report = CoverageReport::from_campaign(&nl, &res);
+        let tl = CoverageTimeline::from_campaign(&nl, &res, 2);
+        assert_eq!(tl.cycles.len(), tl.rows.len());
+        assert_eq!(tl.cycles.len(), tl.overall.len());
+        // Monotone non-decreasing everywhere.
+        for s in 1..tl.cycles.len() {
+            assert!(tl.overall[s] >= tl.overall[s - 1]);
+            for c in 0..tl.components.len() {
+                assert!(tl.rows[s][c] >= tl.rows[s - 1][c]);
+            }
+        }
+        // The last sample equals the end-of-run report.
+        let last = tl.rows.last().unwrap();
+        assert!((tl.overall.last().unwrap() - report.overall_pct).abs() < 1e-9);
+        for (c, comp) in report.components.iter().enumerate() {
+            assert!(
+                (last[c] - comp.coverage_pct).abs() < 1e-9,
+                "{}: timeline {} vs report {}",
+                comp.name,
+                last[c],
+                comp.coverage_pct
+            );
+        }
+        // Sequential detections exist, so coverage must actually grow.
+        assert!(tl.overall[0] < *tl.overall.last().unwrap());
+        let t = tl.to_table();
+        assert!(t.contains("OVERALL") && t.contains("cycle"), "{t}");
+    }
+
+    /// Shard the fault list three ways, grade each shard independently,
+    /// and check the per-component counts of the shard reports sum to
+    /// the full-list report — the invariant campaign sharding (and any
+    /// future distributed runner) rests on.
+    #[test]
+    fn sharded_campaigns_sum_to_full_report() {
+        let nl = staged_netlist();
+        let faults = FaultList::extract(&nl).collapsed(&nl);
+        let vectors = staged_vectors();
+        let full = CoverageReport::from_campaign(&nl, &run_vectors(&nl, &faults, &vectors));
+        let mut sum_total = vec![0u64; full.components.len()];
+        let mut sum_detected = vec![0u64; full.components.len()];
+        for s in 0..3usize {
+            let mut i = 0usize;
+            let shard = faults.filter(|_, _| {
+                let k = i;
+                i += 1;
+                k % 3 == s
+            });
+            let rep = CoverageReport::from_campaign(&nl, &run_vectors(&nl, &shard, &vectors));
+            for (c, comp) in rep.components.iter().enumerate() {
+                sum_total[c] += comp.total;
+                sum_detected[c] += comp.detected;
+            }
+        }
+        for (c, comp) in full.components.iter().enumerate() {
+            assert_eq!(sum_total[c], comp.total, "{}: totals drifted", comp.name);
+            assert_eq!(
+                sum_detected[c], comp.detected,
+                "{}: detections drifted across shards",
+                comp.name
+            );
+        }
+    }
+
+    /// `CampaignResult::merge` must commute with per-component coverage
+    /// reporting, whether the merged results came from serial or
+    /// multi-threaded runs.
+    #[test]
+    fn merge_report_round_trip_serial_vs_parallel() {
+        use crate::campaign::{run_parallel, VectorBench};
+        use crate::sim::ParallelSim;
+        let nl = staged_netlist();
+        let faults = FaultList::extract(&nl).collapsed(&nl);
+        let v1 = staged_vectors();
+        let v2: Vec<Vec<(&str, u64)>> = vec![
+            vec![("a", 0xFF), ("b", 0x00)],
+            vec![("a", 0x0F), ("b", 0xF0)],
+            vec![("a", 0x55), ("b", 0xAA)],
+            vec![("a", 0x00), ("b", 0x00)],
+        ];
+        let serial_1 = run_vectors(&nl, &faults, &v1);
+        let serial_2 = run_vectors(&nl, &faults, &v2);
+        let serial_merged = serial_1.merge(&serial_2);
+        let proto = ParallelSim::new(&nl);
+        let par_1 = run_parallel(&proto, &faults, &|| VectorBench::new(&nl, &v1), 3);
+        let par_2 = run_parallel(&proto, &faults, &|| VectorBench::new(&nl, &v2), 2);
+        let par_merged = par_1.merge(&par_2);
+        assert_eq!(par_merged.detections, serial_merged.detections);
+        assert_eq!(par_merged.stats.latency, serial_merged.stats.latency);
+        let rs = CoverageReport::from_campaign(&nl, &serial_merged);
+        let rp = CoverageReport::from_campaign(&nl, &par_merged);
+        assert_eq!(rs.total_faults, rp.total_faults);
+        assert_eq!(rs.total_detected, rp.total_detected);
+        for (a, b) in rs.components.iter().zip(&rp.components) {
+            assert_eq!(a, b, "merged component rows differ");
+        }
+        // Merge must never lose detections relative to either input.
+        assert!(rs.total_detected >= CoverageReport::from_campaign(&nl, &serial_1).total_detected);
+        assert!(rs.total_detected >= CoverageReport::from_campaign(&nl, &serial_2).total_detected);
     }
 }

@@ -26,6 +26,22 @@ use crate::model::{Fault, FaultSite, Polarity};
 /// Lanes-word with all 64 bits set.
 pub const ALL_LANES: u64 = !0;
 
+/// Geometry of a compiled simulator — the per-cycle work a campaign
+/// sweeps: every gate is evaluated for 64 lanes on each simulated cycle.
+/// Reported by [`ParallelSim::stats`] and recorded in campaign trace
+/// headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Nets in the compiled model (excluding the dummy slot).
+    pub nets: usize,
+    /// Compiled gates.
+    pub gates: usize,
+    /// Flip-flops.
+    pub dffs: usize,
+    /// Evaluation segments.
+    pub segments: usize,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct PinPatch {
     set1: [u64; 3],
@@ -157,6 +173,17 @@ impl ParallelSim {
     /// Number of evaluation segments.
     pub fn num_segments(&self) -> usize {
         self.segment_bounds.len()
+    }
+
+    /// Compiled-model geometry, for trace headers and capacity planning
+    /// (what a campaign actually sweeps per simulated cycle).
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            nets: self.vals.len() - 1,
+            gates: self.kinds.len(),
+            dffs: self.dff_d.len(),
+            segments: self.segment_bounds.len(),
+        }
     }
 
     /// Remove all injected faults (lane masks return to identity). Only

@@ -1,0 +1,31 @@
+//! Structured tracing, metrics, and progress reporting for the
+//! fault-simulation stack.
+//!
+//! Like the workspace's `proptest`/`criterion`/`serde_json` shims, this
+//! crate is std-only and offline: no subscriber registries, no async, no
+//! global state. Three small pieces:
+//!
+//! * [`trace::Tracer`] — a clonable handle to a JSONL event sink. A
+//!   disabled tracer is a `None` behind the handle, so instrumented code
+//!   costs one pointer test when tracing is off (the default). Events
+//!   carry a microsecond timestamp relative to tracer creation and the
+//!   emitting thread's id; [`trace::Span`] guards add wall-clock
+//!   durations.
+//! * [`metrics::LatencyHistogram`] — power-of-two bucketed histogram of
+//!   detection latencies (cycles from test start to first divergence).
+//! * [`progress::Progress`] — shared atomic counters plus a rate-limited
+//!   stderr ticker, for watching long campaigns without touching their
+//!   hot loops.
+//!
+//! The `fault::campaign` runners accept these via `CampaignHooks`; the
+//! `tables` binary wires them to `--progress` and `--report`.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod progress;
+pub mod trace;
+
+pub use metrics::LatencyHistogram;
+pub use progress::Progress;
+pub use trace::{Span, Tracer};

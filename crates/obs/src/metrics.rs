@@ -1,0 +1,188 @@
+//! Small offline metrics containers.
+
+use serde_json::Value;
+
+/// Number of buckets in a [`LatencyHistogram`]: bucket 0 holds latency
+/// 0, bucket `k >= 1` holds latencies in `[2^(k-1), 2^k)`. 33 buckets
+/// cover every `u32`-ish cycle count a campaign can produce.
+pub const LATENCY_BUCKETS: usize = 33;
+
+/// Power-of-two bucketed histogram of detection latencies (the cycle at
+/// which a fault first diverged from the reference machine).
+///
+/// Fixed-size and allocation-free so it can live inside campaign
+/// statistics and be rebuilt cheaply after merges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Bucket index for a latency value.
+    pub fn bucket_of(cycle: u64) -> usize {
+        if cycle == 0 {
+            0
+        } else {
+            (64 - cycle.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive-exclusive cycle range `[lo, hi)` of a bucket.
+    pub fn bucket_range(k: usize) -> (u64, u64) {
+        match k {
+            0 => (0, 1),
+            _ => (1u64 << (k - 1), 1u64 << k),
+        }
+    }
+
+    /// Record one detection at `cycle`.
+    pub fn record(&mut self, cycle: u64) {
+        self.buckets[Self::bucket_of(cycle)] += 1;
+    }
+
+    /// Build from an iterator of detection cycles.
+    pub fn from_cycles(cycles: impl IntoIterator<Item = u64>) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for c in cycles {
+            h.record(c);
+        }
+        h
+    }
+
+    /// Total detections recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Add another histogram's counts into this one.
+    pub fn absorb(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Render the non-empty buckets as an aligned text table with a
+    /// proportional bar, trailing a cumulative-percent column.
+    pub fn to_table(&self) -> String {
+        let total = self.count();
+        if total == 0 {
+            return "(no detections)\n".to_string();
+        }
+        let peak = *self.buckets.iter().max().unwrap();
+        let mut s = format!(
+            "{:>16} {:>9} {:>7} {:>7}  {}\n",
+            "latency (cycles)", "faults", "%", "cum %", "histogram"
+        );
+        let mut cum = 0u64;
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&b| b != 0)
+            .unwrap_or(0);
+        for k in 0..=last {
+            let n = self.buckets[k];
+            cum += n;
+            let (lo, hi) = Self::bucket_range(k);
+            let label = if k == 0 {
+                "0".to_string()
+            } else {
+                format!("{}..{}", lo, hi - 1)
+            };
+            let bar_len = ((n * 40).div_ceil(peak.max(1))) as usize;
+            s.push_str(&format!(
+                "{:>16} {:>9} {:>7.2} {:>7.2}  {}\n",
+                label,
+                n,
+                100.0 * n as f64 / total as f64,
+                100.0 * cum as f64 / total as f64,
+                "#".repeat(if n == 0 { 0 } else { bar_len.max(1) }),
+            ));
+        }
+        s
+    }
+
+    /// Machine-readable form: `[{lo, hi, count}, ...]` for non-empty
+    /// buckets only.
+    pub fn to_json(&self) -> Value {
+        let rows = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(k, &n)| {
+                let (lo, hi) = Self::bucket_range(k);
+                serde_json::json!({ "lo": lo, "hi": hi, "count": n })
+            })
+            .collect();
+        Value::Array(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(1023), 10);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
+        for k in 0..LATENCY_BUCKETS - 1 {
+            let (lo, hi) = LatencyHistogram::bucket_range(k);
+            assert_eq!(LatencyHistogram::bucket_of(lo), k);
+            assert_eq!(LatencyHistogram::bucket_of(hi - 1), k);
+        }
+    }
+
+    #[test]
+    fn record_count_absorb() {
+        let mut a = LatencyHistogram::from_cycles([0, 1, 5, 5, 900]);
+        assert_eq!(a.count(), 5);
+        let b = LatencyHistogram::from_cycles([2, 70_000]);
+        a.absorb(&b);
+        assert_eq!(a.count(), 7);
+        assert!(!a.is_empty());
+        let t = a.to_table();
+        assert!(t.contains("cum %"), "{t}");
+        assert!(t.contains('#'));
+        let j = a.to_json();
+        let rows = j.as_array().unwrap();
+        let total: u64 = rows.iter().map(|r| r["count"].as_u64().unwrap()).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn empty_histogram_renders() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.to_table(), "(no detections)\n");
+        assert_eq!(h.to_json(), Value::Array(vec![]));
+    }
+}

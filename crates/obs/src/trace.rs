@@ -1,0 +1,272 @@
+//! The event/span tracer and its JSONL sink.
+//!
+//! One event is one JSON object on one line:
+//!
+//! ```json
+//! {"us":1234,"tid":3,"ev":"batch","batch":17,"faults":63,"cycles":812,"detected":63}
+//! ```
+//!
+//! `us` is microseconds since the tracer was created, `tid` a small
+//! integer identifying the emitting thread, `ev` the event kind; the
+//! remaining fields are event-specific. Span guards emit `<kind>_begin` /
+//! `<kind>_end` pairs, the end event carrying `dur_us`.
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde_json::{Map, Value};
+
+struct Inner {
+    t0: Instant,
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+/// A clonable handle to a trace sink. Cloning shares the sink; all
+/// clones append to the same stream (writes are line-atomic behind a
+/// mutex). A disabled tracer carries no sink and makes every operation
+/// a cheap no-op, so instrumented code can hold one unconditionally.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+/// A small integer id for the calling thread, stable for the thread's
+/// lifetime (extracted from [`std::thread::ThreadId`]'s debug form).
+pub fn thread_ordinal() -> u64 {
+    let s = format!("{:?}", std::thread::current().id());
+    s.chars()
+        .filter(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+impl Tracer {
+    /// A tracer that drops everything. All operations are no-ops.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer appending JSON lines to an arbitrary writer (used by
+    /// tests with an in-memory buffer).
+    pub fn to_writer(w: Box<dyn Write + Send>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                t0: Instant::now(),
+                sink: Mutex::new(w),
+            })),
+        }
+    }
+
+    /// A tracer writing to a file (truncating), creating parent
+    /// directories as needed.
+    pub fn to_path(path: impl AsRef<Path>) -> io::Result<Tracer> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let f = std::fs::File::create(path)?;
+        Ok(Tracer::to_writer(Box::new(BufWriter::new(f))))
+    }
+
+    /// Whether events are being recorded. Instrumentation should gate
+    /// any non-trivial field construction on this.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit one event. `fields` are appended after the standard
+    /// `us`/`tid`/`ev` triple, in order.
+    pub fn event(&self, kind: &str, fields: &[(&str, Value)]) {
+        let Some(inner) = &self.inner else { return };
+        let mut obj = Map::new();
+        obj.insert(
+            "us".into(),
+            Value::U64(inner.t0.elapsed().as_micros() as u64),
+        );
+        obj.insert("tid".into(), Value::U64(thread_ordinal()));
+        obj.insert("ev".into(), Value::String(kind.to_string()));
+        for (k, v) in fields {
+            obj.insert((*k).to_string(), v.clone());
+        }
+        let line = serde_json::to_string(&Value::Object(obj)).unwrap_or_default();
+        let mut sink = inner.sink.lock().expect("trace sink poisoned");
+        let _ = writeln!(sink, "{line}");
+    }
+
+    /// Open a span: emits `<kind>_begin` now and `<kind>_end` (with
+    /// `dur_us`) when the returned guard drops.
+    pub fn span(&self, kind: &str, fields: &[(&str, Value)]) -> Span {
+        self.event(&format!("{kind}_begin"), fields);
+        Span {
+            tracer: self.clone(),
+            kind: kind.to_string(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Flush the underlying writer (files are buffered).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            let _ = inner.sink.lock().expect("trace sink poisoned").flush();
+        }
+    }
+}
+
+/// Guard returned by [`Tracer::span`]; emits the `_end` event on drop.
+#[must_use = "dropping the span immediately ends it"]
+pub struct Span {
+    tracer: Tracer,
+    kind: String,
+    started: Instant,
+}
+
+impl Span {
+    /// End the span now, attaching extra fields to the `_end` event.
+    pub fn end_with(self, fields: &[(&str, Value)]) {
+        let mut all = vec![(
+            "dur_us",
+            Value::U64(self.started.elapsed().as_micros() as u64),
+        )];
+        all.extend(fields.iter().map(|(k, v)| (*k, v.clone())));
+        self.tracer.event(&format!("{}_end", self.kind), &all);
+        // The Drop impl must not emit a second end event.
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.tracer.event(
+            &format!("{}_end", self.kind),
+            &[(
+                "dur_us",
+                Value::U64(self.started.elapsed().as_micros() as u64),
+            )],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc as SArc, Mutex as SMutex};
+
+    /// A Write impl capturing into a shared buffer.
+    struct Capture(SArc<SMutex<Vec<u8>>>);
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn capture_tracer() -> (Tracer, SArc<SMutex<Vec<u8>>>) {
+        let buf = SArc::new(SMutex::new(Vec::new()));
+        let t = Tracer::to_writer(Box::new(Capture(buf.clone())));
+        (t, buf)
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.event("x", &[("k", Value::U64(1))]);
+        let s = t.span("y", &[]);
+        drop(s);
+        t.flush();
+    }
+
+    #[test]
+    fn events_are_one_json_object_per_line() {
+        let (t, buf) = capture_tracer();
+        t.event("alpha", &[("n", Value::U64(7))]);
+        t.event("beta", &[("s", Value::String("hi".into()))]);
+        t.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v = serde_json::from_str(line).expect("valid JSON line");
+            let o = v.as_object().unwrap();
+            assert!(o.get("us").and_then(|v| v.as_u64()).is_some());
+            assert!(o.get("tid").and_then(|v| v.as_u64()).is_some());
+            assert!(o.get("ev").and_then(|v| v.as_str()).is_some());
+        }
+        let first = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first["ev"].as_str(), Some("alpha"));
+        assert_eq!(first["n"].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn span_emits_begin_and_end_with_duration() {
+        let (t, buf) = capture_tracer();
+        let s = t.span("work", &[("batch", Value::U64(3))]);
+        s.end_with(&[("cycles", Value::U64(99))]);
+        t.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let begin = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(begin["ev"].as_str(), Some("work_begin"));
+        assert_eq!(begin["batch"].as_u64(), Some(3));
+        let end = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(end["ev"].as_str(), Some("work_end"));
+        assert!(end["dur_us"].as_u64().is_some());
+        assert_eq!(end["cycles"].as_u64(), Some(99));
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let (t, buf) = capture_tracer();
+        let t2 = t.clone();
+        t.event("a", &[]);
+        t2.event("b", &[]);
+        t.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_keep_lines_atomic() {
+        let (t, buf) = capture_tracer();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        t.event("tick", &[("i", Value::U64(i))]);
+                    }
+                });
+            }
+        });
+        t.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 200);
+        for line in lines {
+            serde_json::from_str(line).expect("interleaved write corrupted a line");
+        }
+    }
+}

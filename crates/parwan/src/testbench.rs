@@ -3,6 +3,8 @@
 use fault::campaign::Testbench;
 use fault::sim::ParallelSim;
 use netlist::sim::Simulator;
+use obs::Tracer;
+use serde_json::Value;
 
 use crate::core::ParwanCore;
 use crate::model::BusCycle;
@@ -75,6 +77,11 @@ pub struct ParwanSelfTestBench<'a> {
     budget: u64,
     scratch: [u64; 64],
     bits: Vec<u64>,
+    // Optional cycle-window divergence tracing (see `with_trace`).
+    tracer: Tracer,
+    trace_window: u64,
+    win_diff: u64,
+    batch_idx: u64,
 }
 
 impl<'a> ParwanSelfTestBench<'a> {
@@ -91,7 +98,21 @@ impl<'a> ParwanSelfTestBench<'a> {
             budget,
             scratch: [0; 64],
             bits: Vec::new(),
+            tracer: Tracer::disabled(),
+            trace_window: 0,
+            win_diff: 0,
+            batch_idx: 0,
         }
+    }
+
+    /// Attach a cycle-window divergence trace: every `window` cycles the
+    /// bench emits a `tb_window` event with the number of lanes that
+    /// diverged from the reference inside the window. A disabled tracer
+    /// leaves the step loop at one branch per cycle.
+    pub fn with_trace(mut self, tracer: Tracer, window: u64) -> Self {
+        self.trace_window = if tracer.enabled() { window.max(1) } else { 0 };
+        self.tracer = tracer;
+        self
     }
 
     fn read(&self, lane: usize, addr: u16) -> u8 {
@@ -120,9 +141,13 @@ impl Testbench for ParwanSelfTestBench<'_> {
             self.ovl_gens.fill(0);
             self.gen = 1;
         }
+        if self.trace_window != 0 {
+            self.batch_idx += 1;
+            self.win_diff = 0;
+        }
     }
 
-    fn step(&mut self, sim: &mut ParallelSim, _cycle: u64) -> u64 {
+    fn step(&mut self, sim: &mut ParallelSim, cycle: u64) -> u64 {
         let nl = self.core.netlist();
         sim.eval_segment(0);
         let addr_nets = nl.port("mem_addr");
@@ -141,6 +166,20 @@ impl Testbench for ParwanSelfTestBench<'_> {
         let diff = sim.diff_vs_lane0(self.core.observed_outputs());
         sim.eval_segment(1);
         sim.clock();
+        if self.trace_window != 0 {
+            self.win_diff |= diff;
+            if (cycle + 1) % self.trace_window == 0 {
+                self.tracer.event(
+                    "tb_window",
+                    &[
+                        ("batch", Value::U64(self.batch_idx)),
+                        ("cycle", Value::U64(cycle + 1)),
+                        ("diverged", Value::U64(u64::from(self.win_diff.count_ones()))),
+                    ],
+                );
+                self.win_diff = 0;
+            }
+        }
         diff
     }
 

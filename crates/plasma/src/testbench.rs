@@ -7,6 +7,8 @@ use fault::sim::ParallelSim;
 use mips::iss::{Bus, BusCycle, Memory};
 use mips::Program;
 use netlist::sim::Simulator;
+use obs::Tracer;
+use serde_json::Value;
 
 use crate::PlasmaCore;
 
@@ -115,6 +117,11 @@ pub struct SelfTestBench<'a> {
     budget: u64,
     rdata_scratch: [u64; 64],
     bits_scratch: Vec<u64>,
+    // Optional cycle-window divergence tracing (see `with_trace`).
+    tracer: Tracer,
+    trace_window: u64,
+    win_diff: u64,
+    batch_idx: u64,
 }
 
 impl<'a> SelfTestBench<'a> {
@@ -142,7 +149,21 @@ impl<'a> SelfTestBench<'a> {
             budget,
             rdata_scratch: [0; 64],
             bits_scratch: Vec::new(),
+            tracer: Tracer::disabled(),
+            trace_window: 0,
+            win_diff: 0,
+            batch_idx: 0,
         }
+    }
+
+    /// Attach a cycle-window divergence trace: every `window` cycles the
+    /// bench emits a `tb_window` event with the number of lanes that
+    /// diverged from the reference inside the window. A disabled tracer
+    /// leaves the step loop at one branch per cycle.
+    pub fn with_trace(mut self, tracer: Tracer, window: u64) -> Self {
+        self.trace_window = if tracer.enabled() { window.max(1) } else { 0 };
+        self.tracer = tracer;
+        self
     }
 
     fn read(&self, lane: usize, addr: u32) -> u32 {
@@ -183,9 +204,13 @@ impl Testbench for SelfTestBench<'_> {
             self.ovl_gens.fill(0);
             self.gen = 1;
         }
+        if self.trace_window != 0 {
+            self.batch_idx += 1;
+            self.win_diff = 0;
+        }
     }
 
-    fn step(&mut self, sim: &mut ParallelSim, _cycle: u64) -> u64 {
+    fn step(&mut self, sim: &mut ParallelSim, cycle: u64) -> u64 {
         let nl = self.core.netlist();
         sim.eval_segment(0);
 
@@ -212,6 +237,20 @@ impl Testbench for SelfTestBench<'_> {
         sim.eval_segment(1);
         let diff = sim.diff_vs_lane0(self.core.observed_outputs());
         sim.clock();
+        if self.trace_window != 0 {
+            self.win_diff |= diff;
+            if (cycle + 1) % self.trace_window == 0 {
+                self.tracer.event(
+                    "tb_window",
+                    &[
+                        ("batch", Value::U64(self.batch_idx)),
+                        ("cycle", Value::U64(cycle + 1)),
+                        ("diverged", Value::U64(u64::from(self.win_diff.count_ones()))),
+                    ],
+                );
+                self.win_diff = 0;
+            }
+        }
         diff
     }
 

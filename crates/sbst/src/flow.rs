@@ -2,16 +2,20 @@
 //! golden run (Table 4), fault-simulate the processor executing its own
 //! self test (Table 5).
 
-use fault::campaign::{self, CampaignResult};
-use fault::coverage::CoverageReport;
+use std::path::PathBuf;
+
+use fault::campaign::{self, CampaignHooks, CampaignResult};
+use fault::coverage::{CoverageReport, CoverageTimeline};
 use fault::model::FaultList;
 use fault::sim::ParallelSim;
 use mips::iss::{Iss, Memory};
+use obs::{Progress, Tracer};
 use plasma::testbench::SelfTestBench;
 use plasma::PlasmaCore;
 
 use crate::cost::{CostModel, TestCost};
 use crate::phases::{build_program, Phase, SelfTestProgram};
+use crate::provenance::{GoldenTrace, ProvenanceReport, RoutineMap};
 use crate::routines::{END_MARKER, MAILBOX};
 
 /// Size of the self-test memory image.
@@ -35,6 +39,14 @@ pub struct FlowOptions {
     /// variable, else available parallelism). Results are bit-identical
     /// at every thread count.
     pub threads: usize,
+    /// Live batch-progress ticker on stderr (`--progress`).
+    pub progress: bool,
+    /// Write structured JSONL trace events here (`None` = tracing off,
+    /// the default — disabled tracing is one branch per batch).
+    pub trace_path: Option<PathBuf>,
+    /// Coverage-over-time sample stride in cycles; `0` disables the
+    /// timeline (the default).
+    pub timeline_stride: u64,
 }
 
 impl Default for FlowOptions {
@@ -45,6 +57,30 @@ impl Default for FlowOptions {
             cycle_margin: 64,
             cost_model: CostModel::default(),
             threads: 0,
+            progress: false,
+            trace_path: None,
+            timeline_stride: 0,
+        }
+    }
+}
+
+impl FlowOptions {
+    /// Build the campaign hooks these options describe. `label` names
+    /// the progress ticker; `total_batches` sizes it (see
+    /// [`campaign::batch_count`]). A trace path that cannot be opened
+    /// degrades to disabled tracing with a warning rather than failing
+    /// the run.
+    pub fn hooks(&self, label: &str, total_batches: u64) -> CampaignHooks {
+        let tracer = match &self.trace_path {
+            Some(p) => Tracer::to_path(p).unwrap_or_else(|e| {
+                eprintln!("warning: cannot open trace file {}: {e}", p.display());
+                Tracer::disabled()
+            }),
+            None => Tracer::disabled(),
+        };
+        CampaignHooks {
+            tracer,
+            progress: self.progress.then(|| Progress::new(label, total_batches)),
         }
     }
 }
@@ -63,6 +99,13 @@ pub struct FlowReport {
     pub campaign: CampaignResult,
     /// Per-component coverage (Table 5).
     pub coverage: CoverageReport,
+    /// Detection provenance: which routine/instruction was executing
+    /// when each fault was first observed (computed offline from the
+    /// golden ISS trace — see [`crate::provenance`]).
+    pub provenance: ProvenanceReport,
+    /// Coverage-over-time samples, present when
+    /// [`FlowOptions::timeline_stride`] is nonzero.
+    pub timeline: Option<CoverageTimeline>,
 }
 
 /// Measure the golden run length of a self-test program on the ISS.
@@ -112,10 +155,23 @@ pub fn run_campaign_of_threads(
     budget: u64,
     threads: usize,
 ) -> CampaignResult {
+    run_campaign_of_hooks(core, program, faults, budget, threads, &CampaignHooks::none())
+}
+
+/// [`run_campaign_of_threads`] with observability hooks (trace events +
+/// live progress). Detections are bit-identical with or without hooks.
+pub fn run_campaign_of_hooks(
+    core: &PlasmaCore,
+    program: &mips::Program,
+    faults: &FaultList,
+    budget: u64,
+    threads: usize,
+    hooks: &CampaignHooks,
+) -> CampaignResult {
     let [early, late] = core.segments();
     let sim = ParallelSim::with_segments(core.netlist(), &[early.to_vec(), late.to_vec()]);
     let factory = || SelfTestBench::new(core, program, MEM_BYTES, budget);
-    campaign::run_parallel(&sim, faults, &factory, threads)
+    campaign::run_parallel_with(&sim, faults, &factory, threads, hooks)
 }
 
 /// [`run_campaign_of_threads`] with auto thread count.
@@ -149,26 +205,37 @@ pub fn run_campaign(
     run_campaign_of(core, &selftest.program, faults, budget)
 }
 
-/// The full flow for one phase: generate, assemble, measure, grade.
+/// The full flow for one phase: generate, assemble, measure, grade, and
+/// attribute — every detection is joined against the golden ISS trace to
+/// recover the executing routine (see [`crate::provenance`]).
 pub fn run_flow(core: &PlasmaCore, phase: Phase, opts: &FlowOptions) -> FlowReport {
     let selftest = build_program(phase).expect("phase program must assemble");
     let golden = golden_cycles(&selftest);
     let faults = fault_list(core, opts);
-    let campaign = run_campaign_threads(
+    let hooks = opts.hooks(phase.name(), campaign::batch_count(&faults));
+    let campaign = run_campaign_of_hooks(
         core,
-        &selftest,
+        &selftest.program,
         &faults,
         golden + opts.cycle_margin,
         opts.threads,
+        &hooks,
     );
     let coverage = CoverageReport::from_campaign(core.netlist(), &campaign);
     let cost = opts.cost_model.cost(selftest.size_words(), golden);
+    let trace = GoldenTrace::record(&selftest.program, MEM_BYTES, golden);
+    let map = RoutineMap::of_selftest(&selftest);
+    let provenance = ProvenanceReport::from_campaign(core.netlist(), &campaign, &trace, &map);
+    let timeline = (opts.timeline_stride > 0)
+        .then(|| CoverageTimeline::from_campaign(core.netlist(), &campaign, opts.timeline_stride));
     FlowReport {
         selftest,
         golden_cycles: golden,
         cost,
         campaign,
         coverage,
+        provenance,
+        timeline,
     }
 }
 
@@ -186,6 +253,7 @@ mod tests {
         let core = PlasmaCore::build(PlasmaConfig::default());
         let opts = FlowOptions {
             fault_sample: Some(700),
+            timeline_stride: 500,
             ..Default::default()
         };
         let report = run_flow(&core, Phase::A, &opts);
@@ -199,5 +267,23 @@ mod tests {
         // Functional components must be well covered by Phase A.
         let regf = report.coverage.component("RegF").unwrap();
         assert!(regf.coverage_pct > 85.0, "RegF {:.2}%", regf.coverage_pct);
+        // Provenance accounts for every weighted detection, and the
+        // inline register-file march detects a nontrivial share.
+        assert_eq!(
+            report.provenance.total_detected(),
+            report.coverage.total_detected,
+            "provenance lost detections\n{}",
+            report.provenance.to_table()
+        );
+        let main = report
+            .provenance
+            .routines
+            .iter()
+            .find(|r| r.routine == "main")
+            .unwrap();
+        assert!(main.detected > 0, "inline march attributed nothing");
+        // The timeline's last sample agrees with the final report.
+        let tl = report.timeline.as_ref().unwrap();
+        assert!((tl.overall.last().unwrap() - report.coverage.overall_pct).abs() < 1e-9);
     }
 }

@@ -45,5 +45,6 @@ pub mod cost;
 pub mod flow;
 pub mod library;
 pub mod phases;
+pub mod provenance;
 pub mod routines;
 pub mod signature;

@@ -362,6 +362,243 @@ pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> 
     Ok(out)
 }
 
+/// Parse error with a byte offset, mirroring `serde_json::Error`'s role
+/// in `from_str` signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset the error was detected at.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", b as char))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            self.err(format!("expected `{lit}`"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.err("bad \\u escape");
+                            };
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our
+                            // serializer; map lone surrogates to U+FFFD.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(frag) => {
+                            s.push_str(frag);
+                            self.pos = end;
+                        }
+                        Err(_) => return self.err("invalid UTF-8"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        if text.is_empty() || text == "-" {
+            return self.err("expected a number");
+        }
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Value::F64(x)),
+            Err(_) => self.err("malformed number"),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > 128 {
+            return self.err("nesting too deep");
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut a = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(a));
+                }
+                loop {
+                    a.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(a));
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut m = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(m));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let v = self.value(depth + 1)?;
+                    m.insert(key, v);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(m));
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => self.err("unexpected character"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+}
+
+/// Parse a JSON document into a [`Value`] — the reader half of the shim,
+/// enough to round-trip anything the serializer emits (used to validate
+/// the bench JSON artifacts and the trace JSONL streams).
+pub fn from_str(s: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after document");
+    }
+    Ok(v)
+}
+
 /// Build a [`Value`] from a JSON-like literal, mirroring `serde_json::json!`:
 /// object/array literals nest, and any other expression goes through
 /// [`ToJson`] by reference.
@@ -537,5 +774,38 @@ mod tests {
         let v = json!({"n": -4i64, "f": 0.5f64});
         assert_eq!(v["n"].as_i64(), Some(-4));
         assert_eq!(to_string(&v["f"]).unwrap(), "0.5");
+    }
+
+    #[test]
+    fn parser_round_trips_serializer_output() {
+        let v = json!({
+            "name": "ALU test \"quoted\"\nline",
+            "pct": 92.5,
+            "neg": -17i64,
+            "big": 18_446_744_073_709_551_615u64,
+            "rows": [{"k": 1, "ok": true}, {"k": 2, "ok": false}],
+            "nested": {"empty_a": [], "empty_o": {}, "x": null},
+        });
+        for s in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back = from_str(&s).expect("parses");
+            assert_eq!(back, v, "round trip changed the document");
+        }
+    }
+
+    #[test]
+    fn parser_handles_whitespace_and_unicode() {
+        let v = from_str(" {\n \"k\" :\t[ 1 , 2.5 , \"\\u0041µ\" ] } ").unwrap();
+        assert_eq!(v["k"][0].as_u64(), Some(1));
+        assert_eq!(v["k"][1].as_f64(), Some(2.5));
+        assert_eq!(v["k"][2].as_str(), Some("Aµ"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1 2", "{'a':1}", "[1,]",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed `{bad}`");
+        }
     }
 }

@@ -53,4 +53,50 @@ fn plasma_campaign_identical_serial_vs_parallel() {
     assert_eq!(par.stats.batches, serial.stats.batches);
     assert_eq!(par.stats.cycles_simulated, serial.stats.cycles_simulated);
     assert_eq!(par.stats.threads, 3);
+
+    // With observability hooks attached (JSONL tracing), the parallel
+    // runner must still be bit-identical — the hooks never touch
+    // simulation state.
+    let path = std::env::temp_dir().join("sbst_parallel_campaign_trace.jsonl");
+    let hooks = campaign::CampaignHooks::with_tracer(obs::Tracer::to_path(&path).unwrap());
+    let traced = flow::run_campaign_of_hooks(&core, &selftest.program, &faults, budget, 3, &hooks);
+    assert_eq!(traced.detections, serial.detections);
+    assert_eq!(traced.stats.latency, serial.stats.latency);
+    // The trace is valid JSONL: campaign_begin, one event per batch,
+    // campaign_end — every line parseable.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2 + serial.stats.batches as usize);
+    for l in &lines {
+        serde_json::from_str(l).unwrap_or_else(|e| panic!("bad trace line {l}: {e:?}"));
+    }
+    assert!(lines[0].contains("\"ev\":\"campaign_begin\""));
+    assert!(lines.last().unwrap().contains("\"ev\":\"campaign_end\""));
+    std::fs::remove_file(&path).ok();
+}
+
+/// The full flow — including offline detection provenance and the
+/// coverage timeline — must be reproducible across thread counts.
+#[test]
+fn provenance_identical_serial_vs_parallel() {
+    let core = plasma::PlasmaCore::build(plasma::PlasmaConfig::default());
+    let mut opts = FlowOptions {
+        fault_sample: Some(300),
+        timeline_stride: 1000,
+        threads: 1,
+        ..Default::default()
+    };
+    let serial = flow::run_flow(&core, Phase::A, &opts);
+    opts.threads = 3;
+    let par = flow::run_flow(&core, Phase::A, &opts);
+    assert_eq!(serial.campaign.detections, par.campaign.detections);
+    assert_eq!(serial.provenance.to_table(), par.provenance.to_table());
+    assert_eq!(
+        serial.provenance.total_detected(),
+        par.provenance.total_detected()
+    );
+    assert_eq!(
+        serial.timeline.as_ref().unwrap().overall,
+        par.timeline.as_ref().unwrap().overall
+    );
 }
