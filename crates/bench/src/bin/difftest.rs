@@ -1,0 +1,308 @@
+//! Command-line lockstep differential fuzzer (see `crates/difftest`).
+//!
+//! ```text
+//! difftest --seeds 64                  # fuzz 64 random programs, ISS vs netlist
+//! difftest --seeds 8 --instrs 200     # longer random bodies
+//! difftest --threads 4                # worker threads (default: SBST_THREADS/cores)
+//! difftest --seed-start 1000          # shift the seed window
+//! difftest --no-feedback              # disable coverage-feedback scheduling
+//! difftest --inject                   # demo: inject a netlist fault, localize,
+//!                                     #   shrink, persist into the corpus
+//! difftest --replay                   # replay every corpus case, fail on change
+//! difftest --parwan                   # also lockstep-fuzz the Parwan pair
+//! difftest --corpus DIR               # corpus directory (default tests/corpus)
+//! difftest --trace FILE --progress    # JSONL events / live seed ticker
+//! ```
+//!
+//! Exit status: 0 clean, 1 a divergence was found (reproducer persisted),
+//! 2 corpus replay regressed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use difftest::corpus::{self, CorpusCase, CorpusFault, NetlistSig, ReplayOutcome};
+use difftest::oracle::{OracleConfig, PlasmaOracle};
+use difftest::parwan_oracle::{random_parwan_image, ParwanOracle};
+use difftest::{fuzz_plasma, shrink, FuzzConfig, FuzzHooks};
+use fault::model::{Fault, FaultList};
+use mips::gen::{random_parts, GenConfig};
+use obs::{Progress, Tracer};
+use plasma::{PlasmaConfig, PlasmaCore};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = FuzzConfig {
+        seeds: 32,
+        ..FuzzConfig::default()
+    };
+    let mut corpus_dir = PathBuf::from("tests/corpus");
+    let mut inject = false;
+    let mut replay = false;
+    let mut parwan_too = false;
+    let mut progress = false;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                cfg.seeds = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seeds needs a number");
+            }
+            "--instrs" => {
+                cfg.body_len = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--instrs needs a number");
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--seed-start" => {
+                cfg.seed_start = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed-start needs a number");
+            }
+            "--wave" => {
+                cfg.wave = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--wave needs a number");
+            }
+            "--max-cycles" => {
+                cfg.oracle.max_cycles = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-cycles needs a number");
+            }
+            "--no-feedback" => cfg.feedback = false,
+            "--inject" => inject = true,
+            "--replay" => replay = true,
+            "--parwan" => parwan_too = true,
+            "--progress" => progress = true,
+            "--corpus" => {
+                corpus_dir = it.next().expect("--corpus needs a directory").into();
+            }
+            "--trace" => {
+                trace_path = Some(it.next().expect("--trace needs a path").into());
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see source header for usage)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let tracer = match &trace_path {
+        Some(p) => Tracer::to_path(p).expect("open trace file"),
+        None => Tracer::disabled(),
+    };
+    eprintln!("building gate-level core...");
+    let core = PlasmaCore::build(PlasmaConfig::default());
+
+    if replay {
+        return replay_corpus(&core, &corpus_dir);
+    }
+
+    let hooks = FuzzHooks {
+        tracer,
+        progress: progress.then(|| Progress::new("difftest", cfg.seeds)),
+    };
+
+    let mut status = ExitCode::SUCCESS;
+    println!(
+        "fuzzing {} seeds (body {} instrs, feedback {})...",
+        cfg.seeds, cfg.body_len, if cfg.feedback { "on" } else { "off" }
+    );
+    let report = fuzz_plasma(&core, &cfg, &hooks);
+    if let Some(p) = &hooks.progress {
+        p.finish();
+    }
+    let finished = report.outcomes.iter().filter(|o| o.finished).count();
+    println!(
+        "  {} seeds run, {} terminated, {} divergence(s)",
+        report.outcomes.len(),
+        finished,
+        report.divergent_seeds().len()
+    );
+    println!("  component exercise (executed instructions):");
+    for (name, count) in &report.exercise.counts {
+        println!("    {name:<6} {count}");
+    }
+
+    if let Some(&seed) = report.divergent_seeds().first() {
+        // A real ISS/netlist disagreement: report, shrink, persist.
+        status = ExitCode::from(1);
+        let outcome = report
+            .outcomes
+            .iter()
+            .find(|o| o.seed == seed)
+            .expect("divergent seed is in outcomes");
+        let d = outcome.divergence.as_ref().unwrap();
+        println!("\n{}", d.to_report());
+        let gcfg = GenConfig {
+            branch_weight: outcome.weights.0,
+            mem_weight: outcome.weights.1,
+            muldiv_weight: outcome.weights.2,
+            body_len: cfg.body_len,
+            ..GenConfig::default()
+        };
+        let mut oracle = PlasmaOracle::new(&core, cfg.oracle.clone());
+        let parts = random_parts(seed, &gcfg);
+        let shrunk = shrink(&mut oracle, &parts, &[]);
+        println!(
+            "shrunk seed {seed} to {} body instruction(s) in {} oracle runs",
+            shrunk.body_instrs, shrunk.runs
+        );
+        let case = CorpusCase {
+            name: format!("divergence-seed{seed}"),
+            seed,
+            data_base: gcfg.data_base,
+            data_size: gcfg.data_size,
+            body: shrunk.parts.body.clone(),
+            fault: None,
+            expect_divergence: true,
+            expect_cycle: shrunk.report.divergence.as_ref().map(|d| d.cycle),
+        };
+        match corpus::save(&case, &corpus_dir) {
+            Ok(p) => println!("reproducer persisted to {}", p.display()),
+            Err(e) => eprintln!("could not persist reproducer: {e}"),
+        }
+    }
+
+    if inject {
+        println!("\ninjected-fault demo:");
+        if !run_injection_demo(&core, &cfg, &corpus_dir) {
+            status = ExitCode::from(1);
+        }
+    }
+
+    if parwan_too {
+        println!("\nparwan pair:");
+        let pcore = parwan::ParwanCore::build();
+        let mut oracle = ParwanOracle::new(&pcore);
+        let mut bad = 0;
+        for seed in cfg.seed_start..cfg.seed_start + cfg.seeds {
+            let report = oracle.run(&random_parwan_image(seed), &[], 600);
+            if let Some(d) = report.divergence {
+                eprintln!("  seed {seed}: model/netlist divergence at cycle {}", d.cycle);
+                bad += 1;
+            }
+        }
+        println!("  {} seeds run, {bad} divergence(s)", cfg.seeds);
+        if bad > 0 {
+            status = ExitCode::from(1);
+        }
+    }
+
+    status
+}
+
+/// Inject the first detectable collapsed fault into lane 1, localize it,
+/// shrink the program, persist the reproducer, and verify the replay.
+fn run_injection_demo(core: &PlasmaCore, cfg: &FuzzConfig, corpus_dir: &std::path::Path) -> bool {
+    let mut oracle = PlasmaOracle::new(core, cfg.oracle.clone());
+    let gcfg = GenConfig {
+        body_len: cfg.body_len.min(60),
+        ..GenConfig::default()
+    };
+    let parts = random_parts(cfg.seed_start, &gcfg);
+    let program = parts.to_program();
+    let list = FaultList::extract(core.netlist()).collapsed(core.netlist());
+    let mut chosen = None;
+    for batch in list.faults.chunks(63) {
+        let injections: Vec<(Fault, usize)> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i + 1))
+            .collect();
+        let report = oracle.run(&program, &injections);
+        if let Some((lane, cycle)) = report.first_faulty_divergence() {
+            chosen = Some((batch[lane - 1], cycle));
+            break;
+        }
+    }
+    let Some((fault, cycle)) = chosen else {
+        eprintln!("  no detectable fault found (unexpected)");
+        return false;
+    };
+    println!(
+        "  fault `{}` detected, first divergent cycle {cycle}",
+        fault.describe()
+    );
+    let shrunk = shrink(&mut oracle, &parts, &[(fault, 1)]);
+    let min_cycle = shrunk.report.first_faulty_divergence().map(|(_, c)| c);
+    println!(
+        "  shrunk to {} body instruction(s) in {} oracle runs (detects at cycle {:?})",
+        shrunk.body_instrs, shrunk.runs, min_cycle
+    );
+    let case = CorpusCase {
+        name: format!(
+            "inject-seed{}-{}",
+            cfg.seed_start,
+            fault.describe().replace(['/', ' '], "-")
+        ),
+        seed: cfg.seed_start,
+        data_base: gcfg.data_base,
+        data_size: gcfg.data_size,
+        body: shrunk.parts.body.clone(),
+        fault: Some(CorpusFault {
+            fault,
+            lane: 1,
+            describe: fault.describe(),
+            sig: NetlistSig::of(core),
+        }),
+        expect_divergence: true,
+        expect_cycle: min_cycle,
+    };
+    match corpus::save(&case, corpus_dir) {
+        Ok(p) => println!("  reproducer persisted to {}", p.display()),
+        Err(e) => {
+            eprintln!("  could not persist reproducer: {e}");
+            return false;
+        }
+    }
+    match corpus::replay(&case, core, &mut oracle) {
+        ReplayOutcome::Pass => {
+            println!("  replay: pass");
+            true
+        }
+        other => {
+            eprintln!("  replay: {other:?}");
+            false
+        }
+    }
+}
+
+fn replay_corpus(core: &PlasmaCore, dir: &std::path::Path) -> ExitCode {
+    let cases = match corpus::load_dir(dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot load corpus at {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    println!("replaying {} corpus case(s) from {}...", cases.len(), dir.display());
+    let mut oracle = PlasmaOracle::new(core, OracleConfig::default());
+    let mut failed = 0;
+    for (path, case) in &cases {
+        match corpus::replay(case, core, &mut oracle) {
+            ReplayOutcome::Pass => println!("  pass  {}", path.display()),
+            ReplayOutcome::Skipped(why) => println!("  skip  {} ({why})", path.display()),
+            ReplayOutcome::Fail(why) => {
+                eprintln!("  FAIL  {} ({why})", path.display());
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,177 @@
+//! Reproducer shrinking: delete-chunk then per-instruction
+//! simplification, re-running the oracle at every step.
+//!
+//! The shrinker rewrites only the random *body* of a generated program
+//! (see [`mips::gen::ProgramParts`]); the register-seeding prologue and
+//! the state-dumping epilogue stay intact, so every candidate is a
+//! well-formed self-checking program. Within the body a control-transfer
+//! instruction and its delay slot are treated as one atomic unit —
+//! deleting a branch but keeping its delay slot (or vice versa) would
+//! change semantics in ways that have nothing to do with the fault being
+//! chased.
+//!
+//! A candidate is accepted when the oracle still *terminates* (the ISS
+//! reaches the end marker — this is what keeps deletions that break a
+//! branch target from being accepted) and still *fails* (the reference
+//! diverged from the ISS, or an injected fault was detected). Validity is
+//! enforced semantically by the oracle rather than syntactically.
+
+use fault::model::Fault;
+use mips::gen::ProgramParts;
+use mips::isa::{Format, Instr, NOP};
+
+use crate::oracle::{LockstepReport, PlasmaOracle};
+
+/// Result of a shrink loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkOutcome {
+    /// The minimized program (same prologue/epilogue, rewritten body).
+    pub parts: ProgramParts,
+    /// Non-NOP instructions remaining in the body.
+    pub body_instrs: usize,
+    /// Oracle runs the shrink loop consumed.
+    pub runs: u64,
+    /// Report of the final, minimized reproducer.
+    pub report: LockstepReport,
+}
+
+/// Whether a word is a control-transfer instruction (owns a delay slot).
+fn is_cti(word: u32) -> bool {
+    match Instr::decode(word).op {
+        Some(op) => matches!(
+            op.format(),
+            Format::IBranch2
+                | Format::IBranch1
+                | Format::IRegimm
+                | Format::JAbs
+                | Format::RJr
+                | Format::RJalr
+        ),
+        None => false,
+    }
+}
+
+/// Split a body into atomic units: `[cti, delay-slot]` pairs and single
+/// instructions.
+fn units_of(body: &[u32]) -> Vec<Vec<u32>> {
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if is_cti(body[i]) && i + 1 < body.len() {
+            units.push(vec![body[i], body[i + 1]]);
+            i += 2;
+        } else {
+            units.push(vec![body[i]]);
+            i += 1;
+        }
+    }
+    units
+}
+
+fn flatten(units: &[Vec<u32>]) -> Vec<u32> {
+    units.iter().flatten().copied().collect()
+}
+
+/// Count of non-NOP words.
+fn live_instrs(body: &[u32]) -> usize {
+    body.iter().filter(|&&w| w != NOP).count()
+}
+
+/// Shrink `parts` to a minimal program on which the oracle still fails
+/// (with `faults` injected). The caller must have observed the failure
+/// already; if the initial program does not fail, it is returned as-is.
+pub fn shrink(
+    oracle: &mut PlasmaOracle,
+    parts: &ProgramParts,
+    faults: &[(Fault, usize)],
+) -> ShrinkOutcome {
+    let runs_before = oracle.runs;
+    let still_fails = |oracle: &mut PlasmaOracle, units: &[Vec<u32>]| -> Option<LockstepReport> {
+        let candidate = ProgramParts {
+            prologue: parts.prologue.clone(),
+            body: flatten(units),
+            epilogue: parts.epilogue.clone(),
+        };
+        let report = oracle.run(&candidate.to_program(), faults);
+        (report.golden_cycles.is_some() && report.diverged()).then_some(report)
+    };
+
+    let mut units = units_of(&parts.body);
+    let mut best = match still_fails(oracle, &units) {
+        Some(r) => r,
+        None => {
+            // Not a failing input — nothing to shrink.
+            return ShrinkOutcome {
+                parts: parts.clone(),
+                body_instrs: live_instrs(&parts.body),
+                runs: oracle.runs - runs_before,
+                report: oracle.run(&parts.to_program(), faults),
+            };
+        }
+    };
+
+    // Stage 1: chunk deletion, halving the chunk size down to single
+    // units (classic delta debugging over units).
+    let mut chunk = (units.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < units.len() {
+            let end = (i + chunk).min(units.len());
+            let mut candidate = units.clone();
+            candidate.drain(i..end);
+            if let Some(r) = still_fails(oracle, &candidate) {
+                units = candidate;
+                best = r;
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Stage 2: per-instruction simplification — replace each remaining
+    // word with NOP (CTIs first, so a neutralized branch frees its delay
+    // slot for stage 3).
+    for ui in 0..units.len() {
+        for wi in 0..units[ui].len() {
+            if units[ui][wi] == NOP {
+                continue;
+            }
+            let mut candidate = units.clone();
+            candidate[ui][wi] = NOP;
+            if let Some(r) = still_fails(oracle, &candidate) {
+                units = candidate;
+                best = r;
+            }
+        }
+    }
+
+    // Stage 3: one more single-unit deletion pass to drop the units that
+    // became all-NOP in stage 2.
+    let mut i = 0;
+    while i < units.len() {
+        let mut candidate = units.clone();
+        candidate.remove(i);
+        if let Some(r) = still_fails(oracle, &candidate) {
+            units = candidate;
+            best = r;
+        } else {
+            i += 1;
+        }
+    }
+
+    let body = flatten(&units);
+    ShrinkOutcome {
+        body_instrs: live_instrs(&body),
+        parts: ProgramParts {
+            prologue: parts.prologue.clone(),
+            body,
+            epilogue: parts.epilogue.clone(),
+        },
+        runs: oracle.runs - runs_before,
+        report: best,
+    }
+}

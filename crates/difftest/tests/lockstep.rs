@@ -1,0 +1,212 @@
+//! End-to-end tests of the lockstep differential-verification subsystem:
+//! zero-divergence fuzzing on the healthy core, thread-count determinism,
+//! and the full catch → localize → shrink → persist → replay pipeline on
+//! an intentionally injected netlist fault.
+
+use std::sync::OnceLock;
+
+use difftest::corpus::{self, CorpusCase, CorpusFault, NetlistSig, ReplayOutcome};
+use difftest::oracle::{OracleConfig, PlasmaOracle};
+use difftest::parwan_oracle::{random_parwan_image, ParwanOracle};
+use difftest::{fuzz_plasma, shrink, FuzzConfig, FuzzHooks};
+use fault::model::{Fault, FaultList};
+use mips::gen::{random_parts, GenConfig};
+use plasma::{PlasmaConfig, PlasmaCore};
+
+fn core() -> &'static PlasmaCore {
+    static CORE: OnceLock<PlasmaCore> = OnceLock::new();
+    CORE.get_or_init(|| PlasmaCore::build(PlasmaConfig::default()))
+}
+
+fn small_gen() -> GenConfig {
+    GenConfig {
+        body_len: 40,
+        ..GenConfig::default()
+    }
+}
+
+/// Find a fault the given program detects, by probing the collapsed fault
+/// list 63 lanes at a time (deterministic: list order decides).
+fn find_detected_fault(oracle: &mut PlasmaOracle, parts: &mips::gen::ProgramParts) -> Fault {
+    let list = FaultList::extract(core().netlist()).collapsed(core().netlist());
+    let program = parts.to_program();
+    for batch in list.faults.chunks(63) {
+        let injections: Vec<(Fault, usize)> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i + 1))
+            .collect();
+        let report = oracle.run(&program, &injections);
+        assert!(report.divergence.is_none(), "healthy lane 0 must match ISS");
+        if let Some((lane, _)) = report.first_faulty_divergence() {
+            return batch[lane - 1];
+        }
+    }
+    panic!("no detectable fault in the entire collapsed list");
+}
+
+#[test]
+fn fuzz_runs_clean_with_coverage_feedback() {
+    let cfg = FuzzConfig {
+        seeds: 6,
+        seed_start: 100,
+        body_len: 60,
+        threads: 2,
+        wave: 3,
+        feedback: true,
+        oracle: OracleConfig::default(),
+    };
+    let report = fuzz_plasma(core(), &cfg, &FuzzHooks::default());
+    assert_eq!(report.outcomes.len(), 6);
+    for o in &report.outcomes {
+        assert!(o.finished, "seed {} did not reach the end marker", o.seed);
+        assert!(o.divergence.is_none(), "seed {} diverged", o.seed);
+    }
+    assert!(report.divergent_seeds().is_empty());
+    // Attribution saw real work from several components.
+    assert!(report.exercise.total() > 0);
+    assert!(report.exercise.count("ALU") > 0);
+    assert!(report.exercise.count("PCL") > 0);
+    // Feedback re-weighted the second wave: outcomes of wave 2 carry
+    // weights derived from wave 1, not the 10/20/10 defaults.
+    let w0 = report.outcomes[0].weights;
+    assert_eq!(w0, (10, 20, 10), "wave 1 runs with default weights");
+}
+
+#[test]
+fn fuzz_is_bit_identical_across_thread_counts() {
+    let mk = |threads: usize| FuzzConfig {
+        seeds: 5,
+        seed_start: 7,
+        body_len: 40,
+        threads,
+        wave: 2,
+        feedback: true,
+        oracle: OracleConfig::default(),
+    };
+    let one = fuzz_plasma(core(), &mk(1), &FuzzHooks::default());
+    let many = fuzz_plasma(core(), &mk(3), &FuzzHooks::default());
+    assert_eq!(one, many, "fuzz results must not depend on thread count");
+}
+
+#[test]
+fn injected_fault_is_caught_localized_shrunk_and_replayable() {
+    let mut oracle = PlasmaOracle::new(core(), OracleConfig::default());
+    let parts = random_parts(11, &small_gen());
+    let fault = find_detected_fault(&mut oracle, &parts);
+
+    // Caught and localized to its first divergent cycle.
+    let report = oracle.run(&parts.to_program(), &[(fault, 1)]);
+    let (lane, cycle) = report
+        .first_faulty_divergence()
+        .expect("the probed fault must still be detected alone");
+    assert_eq!(lane, 1);
+    assert_eq!(report.lane_first_div[1], Some(cycle));
+    let golden = report.golden_cycles.expect("program terminates");
+    assert!(
+        cycle < golden + oracle.config().drain_cycles,
+        "detection cycle {cycle} beyond budget (golden {golden})"
+    );
+
+    // Shrunk to a minimal reproducer.
+    let outcome = shrink(&mut oracle, &parts, &[(fault, 1)]);
+    assert!(
+        outcome.body_instrs <= 10,
+        "shrunk body still has {} instructions",
+        outcome.body_instrs
+    );
+    assert!(outcome.report.diverged() && outcome.report.golden_cycles.is_some());
+    let min_cycle = outcome
+        .report
+        .first_faulty_divergence()
+        .map(|(_, c)| c)
+        .expect("minimized program still detects the fault");
+
+    // Persisted into a corpus directory and replayed bit-exactly.
+    let case = CorpusCase {
+        name: format!("fault-{}", fault.describe().replace(['/', ' '], "-")),
+        seed: 11,
+        data_base: small_gen().data_base,
+        data_size: small_gen().data_size,
+        body: outcome.parts.body.clone(),
+        fault: Some(CorpusFault {
+            fault,
+            lane: 1,
+            describe: fault.describe(),
+            sig: NetlistSig::of(core()),
+        }),
+        expect_divergence: true,
+        expect_cycle: Some(min_cycle),
+    };
+    let dir = std::env::temp_dir().join(format!("difftest-corpus-{}", std::process::id()));
+    let path = corpus::save(&case, &dir).unwrap();
+    let loaded = corpus::load_dir(&dir).unwrap();
+    assert_eq!(loaded.len(), 1);
+    assert_eq!(loaded[0].0, path);
+    assert_eq!(loaded[0].1, case);
+    assert_eq!(
+        corpus::replay(&loaded[0].1, core(), &mut oracle),
+        ReplayOutcome::Pass
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lane0_fault_yields_structured_divergence_report() {
+    let mut oracle = PlasmaOracle::new(core(), OracleConfig::default());
+    let parts = random_parts(23, &small_gen());
+    let fault = find_detected_fault(&mut oracle, &parts);
+
+    // The same fault injected into the *reference* lane makes the netlist
+    // itself diverge from the ISS — the functional-bug reporting path.
+    let report = oracle.run(&parts.to_program(), &[(fault, 0)]);
+    let d = report.divergence.expect("lane-0 fault must diverge from ISS");
+    assert_eq!(report.cycles, d.cycle + 1, "run stops at first divergence");
+    assert!(!d.window.is_empty());
+    assert!(d.window.iter().any(|l| l.current && l.addr == d.pc));
+    let text = d.to_report();
+    assert!(text.contains("divergence at cycle"), "{text}");
+    assert!(text.contains("iss :") && text.contains("gate:"), "{text}");
+}
+
+#[test]
+fn parwan_pair_runs_lockstep_and_detects_faults() {
+    let core = parwan::ParwanCore::build();
+    let mut oracle = ParwanOracle::new(&core);
+    for seed in 1..=3u64 {
+        let img = random_parwan_image(seed);
+        let report = oracle.run(&img, &[], 600);
+        assert!(report.clean(), "seed {seed}: {:?}", report.divergence);
+        assert_eq!(report.cycles, 600);
+    }
+
+    // Probe for a detected fault, then confirm localization.
+    let list = FaultList::extract(core.netlist()).collapsed(core.netlist());
+    let img = random_parwan_image(1);
+    let mut found = None;
+    for batch in list.faults.chunks(63) {
+        let injections: Vec<(Fault, usize)> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i + 1))
+            .collect();
+        let report = oracle.run(&img, &injections, 600);
+        assert!(report.divergence.is_none());
+        if let Some(&cycle) = report.lane_first_div[1..]
+            .iter()
+            .flatten()
+            .min()
+        {
+            let lane = report
+                .lane_first_div
+                .iter()
+                .position(|d| *d == Some(cycle) )
+                .unwrap();
+            found = Some((batch[lane - 1], cycle));
+            break;
+        }
+    }
+    let (fault, _) = found.expect("some parwan fault is detectable");
+    let report = oracle.run(&img, &[(fault, 5)], 600);
+    assert!(report.lane_first_div[5].is_some(), "fault must be detected in lane 5");
+}

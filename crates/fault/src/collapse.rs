@@ -58,9 +58,9 @@ impl UnionFind {
     }
 }
 
-/// Collapse an uncollapsed fault list into equivalence-class
-/// representatives with weights.
-pub fn collapse(netlist: &Netlist, list: FaultList) -> FaultList {
+/// Build the structural-equivalence union-find over `list` (rules 1–4
+/// from the module docs).
+fn build_equivalence(netlist: &Netlist, list: &FaultList) -> UnionFind {
     let index: HashMap<Fault, u32> = list
         .faults
         .iter()
@@ -165,6 +165,27 @@ pub fn collapse(netlist: &Netlist, list: FaultList) -> FaultList {
             }
         }
     }
+
+    uf
+}
+
+/// For every fault in `list` (in list order), the index *within `list`*
+/// of its equivalence-class representative. Representatives map to
+/// themselves; `collapse` keeps exactly the faults `i` with `reps[i] ==
+/// i`. This exposes class membership so campaigns can cross-check that
+/// collapsed-away faults really share their representative's detection
+/// behaviour.
+pub fn class_representatives(netlist: &Netlist, list: &FaultList) -> Vec<usize> {
+    let mut uf = build_equivalence(netlist, list);
+    (0..list.faults.len() as u32)
+        .map(|i| uf.find(i) as usize)
+        .collect()
+}
+
+/// Collapse an uncollapsed fault list into equivalence-class
+/// representatives with weights.
+pub fn collapse(netlist: &Netlist, list: FaultList) -> FaultList {
+    let mut uf = build_equivalence(netlist, &list);
 
     // Gather classes.
     let n = list.faults.len();

@@ -58,6 +58,18 @@ pub struct GenConfig {
     pub with_mem: bool,
     /// Include branches and jumps.
     pub with_branches: bool,
+    /// Selection weight of the branch class, out of 100 body-slot draws.
+    /// The weights below carve the draw space `[0, 100)` into
+    /// branch / memory / muldiv bands (in that order); whatever remains
+    /// falls to plain ALU instructions. The defaults reproduce the
+    /// historical 10/20/10 mix; difftest's coverage-feedback scheduler
+    /// re-weights them toward under-exercised components.
+    pub branch_weight: u64,
+    /// Selection weight of the load/store class (see `branch_weight`).
+    pub mem_weight: u64,
+    /// Selection weight of the multiply/divide class (see
+    /// `branch_weight`).
+    pub muldiv_weight: u64,
 }
 
 impl Default for GenConfig {
@@ -69,6 +81,9 @@ impl Default for GenConfig {
             with_muldiv: true,
             with_mem: true,
             with_branches: true,
+            branch_weight: 10,
+            mem_weight: 20,
+            muldiv_weight: 10,
         }
     }
 }
@@ -103,6 +118,44 @@ fn any_reg(rng: &mut Rng) -> Reg {
     }
 }
 
+/// A random program split into its three structural regions, so tools
+/// like the `difftest` shrinker can rewrite the body while keeping the
+/// register-seeding prologue and the state-dumping epilogue intact.
+///
+/// The concatenation `prologue ++ body ++ epilogue` loaded at base 0 is
+/// exactly what [`random_program`] returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramParts {
+    /// Register-seeding prologue (loads `$k0` with the data base and
+    /// fills every other register with interesting constants).
+    pub prologue: Vec<u32>,
+    /// The random instruction body. Straight-line except for short
+    /// forward branches, so any subsequence that keeps each branch
+    /// adjacent to its delay slot is still a valid, terminating program.
+    pub body: Vec<u32>,
+    /// Register dump, end-marker store, and spin loop.
+    pub epilogue: Vec<u32>,
+}
+
+impl ProgramParts {
+    /// Assemble the parts into a loadable [`Program`] at base 0.
+    pub fn to_program(&self) -> Program {
+        let words: Vec<u32> = self
+            .prologue
+            .iter()
+            .chain(self.body.iter())
+            .chain(self.epilogue.iter())
+            .copied()
+            .collect();
+        Program {
+            base: 0,
+            download_words: words.len(),
+            words,
+            symbols: Default::default(),
+        }
+    }
+}
+
 /// Generate a random, self-contained program. The program:
 ///
 /// 1. seeds a spread of registers with interesting constants,
@@ -111,6 +164,12 @@ fn any_reg(rng: &mut Rng) -> Reg {
 ///    bus-observable),
 /// 4. stores [`END_MARKER`] to [`END_MAILBOX`] and spins.
 pub fn random_program(seed: u64, cfg: &GenConfig) -> Program {
+    random_parts(seed, cfg).to_program()
+}
+
+/// [`random_program`], returning the prologue/body/epilogue split (see
+/// [`ProgramParts`]).
+pub fn random_parts(seed: u64, cfg: &GenConfig) -> ProgramParts {
     let mut rng = Rng::new(seed);
     let mut words: Vec<u32> = Vec::new();
 
@@ -143,14 +202,21 @@ pub fn random_program(seed: u64, cfg: &GenConfig) -> Program {
     for r in 28..32u8 {
         li32(Reg(r), rng.next_u64() as u32, &mut words);
     }
+    let prologue = std::mem::take(&mut words);
 
     // --- body ---------------------------------------------------------------
+    // Cumulative class thresholds over a draw space of 100 (defaults
+    // 10/30/40/43 — the historical mix).
+    let t_branch = cfg.branch_weight;
+    let t_mem = t_branch + cfg.mem_weight;
+    let t_muldiv = t_mem + cfg.muldiv_weight;
+    let t_mthi = t_muldiv + 3;
     let mut muldiv_cooldown = 0u32; // body slots since last mult/div issue
     let mut i = 0usize;
     while i < cfg.body_len {
         let class = rng.below(100);
         muldiv_cooldown = muldiv_cooldown.saturating_add(1);
-        if cfg.with_branches && class < 10 && i + 2 < cfg.body_len {
+        if cfg.with_branches && class < t_branch && i + 2 < cfg.body_len {
             // Forward branch over 0..3 instructions, delay slot filled
             // with a random ALU instruction.
             let skip = rng.below(3) as u16; // words skipped after delay slot
@@ -200,7 +266,7 @@ pub fn random_program(seed: u64, cfg: &GenConfig) -> Program {
                 i += 1;
             }
             i += 2;
-        } else if cfg.with_mem && class < 30 {
+        } else if cfg.with_mem && class < t_mem {
             let op = *rng.pick(&[
                 Op::Lw,
                 Op::Lh,
@@ -224,7 +290,7 @@ pub fn random_program(seed: u64, cfg: &GenConfig) -> Program {
                 };
             emit(Instr::mem(op, rt, DATA_BASE_REG, offset).encode(), &mut words);
             i += 1;
-        } else if cfg.with_muldiv && class < 40 {
+        } else if cfg.with_muldiv && class < t_muldiv {
             if muldiv_cooldown > 2 {
                 let op = *rng.pick(&[Op::Mult, Op::Multu, Op::Div, Op::Divu]);
                 emit(
@@ -253,7 +319,7 @@ pub fn random_program(seed: u64, cfg: &GenConfig) -> Program {
                 muldiv_cooldown = u32::MAX; // unit idle after the stall
             }
             i += 1;
-        } else if cfg.with_muldiv && class < 43 && muldiv_cooldown > 40 {
+        } else if cfg.with_muldiv && class < t_mthi && muldiv_cooldown > 40 {
             // mthi/mtlo only when the unit is provably idle.
             let op = *rng.pick(&[Op::Mthi, Op::Mtlo]);
             emit(
@@ -271,6 +337,8 @@ pub fn random_program(seed: u64, cfg: &GenConfig) -> Program {
             i += 1;
         }
     }
+
+    let body = std::mem::take(&mut words);
 
     // --- epilogue: dump registers, store the marker, spin -------------------
     for r in 1..32u8 {
@@ -293,11 +361,10 @@ pub fn random_program(seed: u64, cfg: &GenConfig) -> Program {
     );
     words.push(crate::isa::NOP);
 
-    Program {
-        base: 0,
-        download_words: words.len(),
-        words,
-        symbols: Default::default(),
+    ProgramParts {
+        prologue,
+        body,
+        epilogue: words,
     }
 }
 
@@ -375,6 +442,39 @@ mod tests {
                 last.we && last.addr == END_MAILBOX && last.wdata == END_MARKER,
                 "seed {seed} did not reach the end marker in {} cycles",
                 trace.len()
+            );
+        }
+    }
+
+    #[test]
+    fn parts_concatenate_to_the_program() {
+        let cfg = GenConfig::default();
+        for seed in 0..8u64 {
+            let parts = random_parts(seed, &cfg);
+            let p = random_program(seed, &cfg);
+            assert_eq!(parts.to_program().words, p.words);
+            assert_eq!(parts.body.len() >= cfg.body_len, true, "seed {seed}");
+            // The epilogue always ends with the spin loop.
+            let n = parts.epilogue.len();
+            assert_eq!(parts.epilogue[n - 1], crate::isa::NOP);
+        }
+    }
+
+    #[test]
+    fn class_weights_change_the_mix() {
+        let alu_only = GenConfig {
+            branch_weight: 0,
+            mem_weight: 0,
+            muldiv_weight: 0,
+            ..Default::default()
+        };
+        let parts = random_parts(3, &alu_only);
+        for &w in &parts.body {
+            let i = Instr::decode(w);
+            let op = i.op.expect("body word decodes");
+            assert!(
+                !op.is_mem() && !matches!(op, Op::Mult | Op::Multu | Op::Div | Op::Divu),
+                "zero-weight class emitted {op:?}"
             );
         }
     }

@@ -1,0 +1,29 @@
+//! End-to-end check that entries persisted in the sibling
+//! `replay_e2e.proptest-regressions` file are replayed *before* any fresh
+//! random cases, and that entries with non-matching argument names are
+//! skipped. The property below records every input it sees; the real
+//! `#[test]` invokes it and inspects the order.
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static SEEN: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3).no_persist())]
+
+    // Not a #[test]: driven manually below.
+    fn recorder(x in 0u32..1000) {
+        SEEN.lock().unwrap().push(x);
+    }
+}
+
+#[test]
+fn replays_persisted_entry_before_fresh_cases() {
+    recorder();
+    let seen = SEEN.lock().unwrap();
+    // The persisted `x = 777` entry runs first; the `y = 5` entry does not
+    // match this property's arguments and is skipped; then 3 fresh cases.
+    assert_eq!(seen.first(), Some(&777), "persisted case did not run first");
+    assert_eq!(seen.len(), 1 + 3, "unexpected case count: {seen:?}");
+}

@@ -131,7 +131,7 @@ impl RoutineMap {
 /// The golden per-cycle `(pc, instruction)` trace of a self-test run on
 /// the ISS — the cycle-indexed reference the detection cycles join
 /// against.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GoldenTrace {
     /// Program counter at each cycle.
     pub pcs: Vec<u32>,
@@ -143,6 +143,20 @@ impl GoldenTrace {
     /// Replay `program` on the ISS until its mailbox end-marker store
     /// (or `max_cycles`), recording `(pc, instruction)` every cycle.
     pub fn record(program: &Program, mem_bytes: usize, max_cycles: u64) -> GoldenTrace {
+        Self::record_until(program, mem_bytes, max_cycles, MAILBOX, END_MARKER)
+    }
+
+    /// [`GoldenTrace::record`] with an explicit end-of-test mailbox —
+    /// program families other than the SBST phases (e.g. the `difftest`
+    /// fuzzer's random programs, which end at [`mips::gen::END_MAILBOX`])
+    /// use their own marker address.
+    pub fn record_until(
+        program: &Program,
+        mem_bytes: usize,
+        max_cycles: u64,
+        mailbox: u32,
+        marker: u32,
+    ) -> GoldenTrace {
         let mut mem = Memory::new(mem_bytes);
         mem.load_program(program);
         let mut cpu = Iss::new();
@@ -152,7 +166,7 @@ impl GoldenTrace {
             t.pcs.push(pc);
             t.instrs.push(mem.read_word(pc));
             let bus = cpu.cycle(&mut mem);
-            if bus.we && bus.addr == MAILBOX && bus.wdata == END_MARKER {
+            if bus.we && bus.addr == mailbox && bus.wdata == marker {
                 break;
             }
         }
