@@ -14,6 +14,13 @@
 //! difftest --trace FILE --progress    # JSONL events / live seed ticker
 //! ```
 //!
+//! Every invocation appends one run record to `results/LEDGER.jsonl`
+//! (`--ledger FILE` overrides, `--no-ledger` disables); `bench --bin
+//! ledger` renders trends and gates regressions. `--metrics-out FILE`
+//! dumps the metric registry (Prometheus text, or a JSON snapshot when
+//! FILE ends in `.json`); `--serve PORT` keeps the process alive
+//! exposing `/metrics` + `/json` on localhost.
+//!
 //! Exit status: 0 clean, 1 a divergence was found (reproducer persisted),
 //! 2 corpus replay regressed.
 
@@ -26,8 +33,66 @@ use difftest::parwan_oracle::{random_parwan_image, ParwanOracle};
 use difftest::{fuzz_plasma, shrink, FuzzConfig, FuzzHooks};
 use fault::model::{Fault, FaultList};
 use mips::gen::{random_parts, GenConfig};
-use obs::{Progress, Tracer};
+use obs::{LedgerRecord, MetricRegistry, Progress, Tracer};
 use plasma::{PlasmaConfig, PlasmaCore};
+use serde_json::Value;
+
+/// Bump `difftest_shrink_steps_total` by the oracle runs a shrink took.
+fn count_shrink_steps(metrics: Option<&MetricRegistry>, runs: u64) {
+    if let Some(reg) = metrics {
+        reg.counter(
+            "difftest_shrink_steps_total",
+            "oracle runs spent shrinking reproducers",
+            &[],
+        )
+        .inc(runs);
+    }
+}
+
+/// Epilogue shared by every mode: append exactly one ledger record,
+/// dump/serve the metric registry when asked. Blocks forever under
+/// `--serve`.
+fn finish(
+    metrics: Option<&MetricRegistry>,
+    ledger_path: &std::path::Path,
+    no_ledger: bool,
+    record: LedgerRecord,
+    metrics_out: Option<&std::path::Path>,
+    serve_port: Option<u16>,
+) {
+    if !no_ledger {
+        obs::ledger::append(ledger_path, &record).expect("append run ledger");
+        eprintln!(
+            "[run record ({}) appended to {}]",
+            record.kind,
+            ledger_path.display()
+        );
+    }
+    if let Some(reg) = metrics {
+        if let Some(path) = metrics_out {
+            let body = if path.extension().is_some_and(|e| e == "json") {
+                serde_json::to_string_pretty(&reg.snapshot()).expect("serialize")
+            } else {
+                reg.to_prometheus()
+            };
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).expect("create metrics dir");
+            }
+            std::fs::write(path, body).expect("write metrics");
+            eprintln!("[metrics written to {}]", path.display());
+        }
+        if let Some(port) = serve_port {
+            let srv = obs::serve::serve(reg.clone(), port).expect("bind metric server");
+            eprintln!(
+                "[serving http://{}/metrics and /json — ctrl-C to exit]",
+                srv.addr()
+            );
+            loop {
+                std::thread::park();
+            }
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +106,11 @@ fn main() -> ExitCode {
     let mut parwan_too = false;
     let mut progress = false;
     let mut trace_path: Option<PathBuf> = None;
+    let cmd = args.join(" ");
+    let mut ledger_path = PathBuf::from("results/LEDGER.jsonl");
+    let mut no_ledger = false;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut serve_port: Option<u16> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -91,6 +161,20 @@ fn main() -> ExitCode {
             "--trace" => {
                 trace_path = Some(it.next().expect("--trace needs a path").into());
             }
+            "--ledger" => {
+                ledger_path = it.next().expect("--ledger needs a path").into();
+            }
+            "--no-ledger" => no_ledger = true,
+            "--metrics-out" => {
+                metrics_out = Some(it.next().expect("--metrics-out needs a path").into());
+            }
+            "--serve" => {
+                serve_port = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--serve needs a port"),
+                );
+            }
             other => {
                 eprintln!("unknown argument `{other}` (see source header for usage)");
                 return ExitCode::from(2);
@@ -102,16 +186,33 @@ fn main() -> ExitCode {
         Some(p) => Tracer::to_path(p).expect("open trace file"),
         None => Tracer::disabled(),
     };
+    let metrics = (metrics_out.is_some() || serve_port.is_some()).then(MetricRegistry::new);
     eprintln!("building gate-level core...");
     let core = PlasmaCore::build(PlasmaConfig::default());
+    let sig = NetlistSig::of(&core);
+    let fingerprint = format!("n{}/g{}/d{}", sig.nets, sig.gates, sig.dffs);
 
     if replay {
-        return replay_corpus(&core, &corpus_dir);
+        let (code, cases, failed) = replay_corpus(&core, &corpus_dir);
+        let mut rec = LedgerRecord::now("difftest-replay", &cmd);
+        rec.netlist = fingerprint;
+        rec.extra.insert("cases".to_string(), Value::U64(cases));
+        rec.extra.insert("failed".to_string(), Value::U64(failed));
+        finish(
+            metrics.as_ref(),
+            &ledger_path,
+            no_ledger,
+            rec,
+            metrics_out.as_deref(),
+            serve_port,
+        );
+        return code;
     }
 
     let hooks = FuzzHooks {
         tracer,
         progress: progress.then(|| Progress::new("difftest", cfg.seeds)),
+        metrics: metrics.clone(),
     };
 
     let mut status = ExitCode::SUCCESS;
@@ -119,7 +220,9 @@ fn main() -> ExitCode {
         "fuzzing {} seeds (body {} instrs, feedback {})...",
         cfg.seeds, cfg.body_len, if cfg.feedback { "on" } else { "off" }
     );
+    let t0 = std::time::Instant::now();
     let report = fuzz_plasma(&core, &cfg, &hooks);
+    let wall = t0.elapsed().as_secs_f64();
     if let Some(p) = &hooks.progress {
         p.finish();
     }
@@ -155,6 +258,7 @@ fn main() -> ExitCode {
         let mut oracle = PlasmaOracle::new(&core, cfg.oracle.clone());
         let parts = random_parts(seed, &gcfg);
         let shrunk = shrink(&mut oracle, &parts, &[]);
+        count_shrink_steps(metrics.as_ref(), shrunk.runs);
         println!(
             "shrunk seed {seed} to {} body instruction(s) in {} oracle runs",
             shrunk.body_instrs, shrunk.runs
@@ -177,7 +281,7 @@ fn main() -> ExitCode {
 
     if inject {
         println!("\ninjected-fault demo:");
-        if !run_injection_demo(&core, &cfg, &corpus_dir) {
+        if !run_injection_demo(&core, &cfg, &corpus_dir, metrics.as_ref()) {
             status = ExitCode::from(1);
         }
     }
@@ -200,12 +304,54 @@ fn main() -> ExitCode {
         }
     }
 
+    let total_cycles: u64 = report.outcomes.iter().map(|o| o.cycles).sum();
+    let divergences = report.divergent_seeds().len() as u64;
+    let mut rec = LedgerRecord::now("difftest", &cmd);
+    rec.netlist = fingerprint;
+    rec.threads = if cfg.threads == 0 {
+        fault::campaign::default_threads() as u64
+    } else {
+        cfg.threads as u64
+    };
+    rec.cycles = total_cycles;
+    rec.wall_seconds = wall;
+    rec.mlane_cps = if wall > 0.0 {
+        total_cycles as f64 / wall / 1.0e6
+    } else {
+        0.0
+    };
+    rec.extra
+        .insert("seeds".to_string(), Value::U64(report.outcomes.len() as u64));
+    rec.extra
+        .insert("divergences".to_string(), Value::U64(divergences));
+    rec.extra.insert(
+        "seeds_per_sec".to_string(),
+        Value::F64(if wall > 0.0 {
+            report.outcomes.len() as f64 / wall
+        } else {
+            0.0
+        }),
+    );
+    finish(
+        metrics.as_ref(),
+        &ledger_path,
+        no_ledger,
+        rec,
+        metrics_out.as_deref(),
+        serve_port,
+    );
+
     status
 }
 
 /// Inject the first detectable collapsed fault into lane 1, localize it,
 /// shrink the program, persist the reproducer, and verify the replay.
-fn run_injection_demo(core: &PlasmaCore, cfg: &FuzzConfig, corpus_dir: &std::path::Path) -> bool {
+fn run_injection_demo(
+    core: &PlasmaCore,
+    cfg: &FuzzConfig,
+    corpus_dir: &std::path::Path,
+    metrics: Option<&MetricRegistry>,
+) -> bool {
     let mut oracle = PlasmaOracle::new(core, cfg.oracle.clone());
     let gcfg = GenConfig {
         body_len: cfg.body_len.min(60),
@@ -236,6 +382,7 @@ fn run_injection_demo(core: &PlasmaCore, cfg: &FuzzConfig, corpus_dir: &std::pat
         fault.describe()
     );
     let shrunk = shrink(&mut oracle, &parts, &[(fault, 1)]);
+    count_shrink_steps(metrics, shrunk.runs);
     let min_cycle = shrunk.report.first_faulty_divergence().map(|(_, c)| c);
     println!(
         "  shrunk to {} body instruction(s) in {} oracle runs (detects at cycle {:?})",
@@ -279,17 +426,17 @@ fn run_injection_demo(core: &PlasmaCore, cfg: &FuzzConfig, corpus_dir: &std::pat
     }
 }
 
-fn replay_corpus(core: &PlasmaCore, dir: &std::path::Path) -> ExitCode {
+fn replay_corpus(core: &PlasmaCore, dir: &std::path::Path) -> (ExitCode, u64, u64) {
     let cases = match corpus::load_dir(dir) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cannot load corpus at {}: {e}", dir.display());
-            return ExitCode::from(2);
+            return (ExitCode::from(2), 0, 0);
         }
     };
     println!("replaying {} corpus case(s) from {}...", cases.len(), dir.display());
     let mut oracle = PlasmaOracle::new(core, OracleConfig::default());
-    let mut failed = 0;
+    let mut failed = 0u64;
     for (path, case) in &cases {
         match corpus::replay(case, core, &mut oracle) {
             ReplayOutcome::Pass => println!("  pass  {}", path.display()),
@@ -300,9 +447,10 @@ fn replay_corpus(core: &PlasmaCore, dir: &std::path::Path) -> ExitCode {
             }
         }
     }
-    if failed > 0 {
+    let code = if failed > 0 {
         ExitCode::from(2)
     } else {
         ExitCode::SUCCESS
-    }
+    };
+    (code, cases.len() as u64, failed)
 }

@@ -20,6 +20,15 @@
 //! writes structured campaign events as JSONL; `--stride N` sets the
 //! coverage-over-time sample stride of `--report` (default 500 cycles).
 //!
+//! Every invocation appends one schema-versioned run record to the run
+//! ledger (`results/LEDGER.jsonl`; `--ledger FILE` overrides, and
+//! `--no-ledger` disables). `bench --bin ledger` renders trends and
+//! gates regressions from that file. `--profile` turns on the hot-loop
+//! self-profiler; `--metrics-out FILE` dumps the metric registry
+//! (Prometheus text, or a JSON snapshot when FILE ends in `.json`);
+//! `--serve PORT` keeps the process alive exposing `/metrics` + `/json`
+//! on localhost.
+//!
 //! Campaign thread count defaults to the `SBST_THREADS` environment
 //! variable, else the machine's available parallelism; coverage numbers
 //! are bit-identical at every thread count — with or without
@@ -28,6 +37,58 @@
 use std::io::Write as _;
 
 use bench::RunOptions;
+use obs::{LedgerRecord, MetricRegistry};
+
+/// Where the run record and metric dumps of this invocation go.
+struct ObsOut {
+    /// `argv[1..]` joined — recorded as the ledger `cmd`.
+    cmd: String,
+    ledger_path: std::path::PathBuf,
+    no_ledger: bool,
+    metrics_out: Option<std::path::PathBuf>,
+    serve_port: Option<u16>,
+}
+
+/// Epilogue shared by every mode: append exactly one ledger record,
+/// dump/serve the metric registry when asked. Blocks forever under
+/// `--serve`.
+fn finish(opts: &RunOptions, out: &ObsOut, record: Option<LedgerRecord>) {
+    if !out.no_ledger {
+        let mut rec =
+            record.unwrap_or_else(|| LedgerRecord::now("tables-static", ""));
+        rec.cmd = out.cmd.clone();
+        obs::ledger::append(&out.ledger_path, &rec).expect("append run ledger");
+        eprintln!(
+            "[run record ({}) appended to {}]",
+            rec.kind,
+            out.ledger_path.display()
+        );
+    }
+    if let Some(reg) = &opts.metrics {
+        if let Some(path) = &out.metrics_out {
+            let body = if path.extension().is_some_and(|e| e == "json") {
+                serde_json::to_string_pretty(&reg.snapshot()).expect("serialize")
+            } else {
+                reg.to_prometheus()
+            };
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::create_dir_all(dir).expect("create metrics dir");
+            }
+            std::fs::write(path, body).expect("write metrics");
+            eprintln!("[metrics written to {}]", path.display());
+        }
+        if let Some(port) = out.serve_port {
+            let srv = obs::serve::serve(reg.clone(), port).expect("bind metric server");
+            eprintln!(
+                "[serving http://{}/metrics and /json — ctrl-C to exit]",
+                srv.addr()
+            );
+            loop {
+                std::thread::park();
+            }
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +99,13 @@ fn main() {
     let mut report = false;
     let mut escapes = false;
     let mut stride = 500u64;
+    let mut out = ObsOut {
+        cmd: args.join(" "),
+        ledger_path: "results/LEDGER.jsonl".into(),
+        no_ledger: false,
+        metrics_out: None,
+        serve_port: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -69,6 +137,7 @@ fn main() {
             "--report" => report = true,
             "--escapes" => escapes = true,
             "--progress" => opts.progress = true,
+            "--profile" => opts.profile = true,
             "--trace" => {
                 opts.trace_path = Some(it.next().expect("--trace needs a path").into());
             }
@@ -79,16 +148,35 @@ fn main() {
                     .expect("--stride needs a cycle count");
             }
             "--json" => json_out = Some(it.next().expect("--json needs a path").clone()),
+            "--ledger" => {
+                out.ledger_path = it.next().expect("--ledger needs a path").into();
+            }
+            "--no-ledger" => out.no_ledger = true,
+            "--metrics-out" => {
+                out.metrics_out =
+                    Some(it.next().expect("--metrics-out needs a path").into());
+            }
+            "--serve" => {
+                out.serve_port = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--serve needs a port"),
+                );
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: tables [--all | --table <id>] [--full | --sample N] [--seed N] \
-                     [--threads N] [--stats | --report | --escapes] [--progress] \
-                     [--trace file] [--stride N] [--json file]"
+                     [--threads N] [--stats | --report | --escapes] [--progress] [--profile] \
+                     [--trace file] [--stride N] [--json file] [--ledger file] [--no-ledger] \
+                     [--metrics-out file] [--serve port]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if out.metrics_out.is_some() || out.serve_port.is_some() {
+        opts.metrics = Some(MetricRegistry::new());
     }
 
     if stats {
@@ -100,6 +188,7 @@ fn main() {
         let s = serde_json::to_string_pretty(&e.data).expect("serialize");
         std::fs::write(path, s).expect("write campaign stats");
         eprintln!("[campaign stats written to {path}]");
+        finish(&opts, &out, e.ledger);
         return;
     }
 
@@ -117,6 +206,7 @@ fn main() {
             "[report written to results/REPORT.md + REPORT.json; trace in {}]",
             opts.trace_path.as_ref().unwrap().display()
         );
+        finish(&opts, &out, e.ledger);
         return;
     }
 
@@ -127,6 +217,7 @@ fn main() {
         std::fs::create_dir_all("results").expect("create results dir");
         std::fs::write("results/ESCAPES.txt", &e.text).expect("write ESCAPES.txt");
         eprintln!("[escape dump written to results/ESCAPES.txt]");
+        finish(&opts, &out, e.ledger);
         return;
     }
 
@@ -145,7 +236,7 @@ fn main() {
             }
         }
     };
-    let selected = bench::run_selected(&opts, matches);
+    let mut selected = bench::run_selected(&opts, matches);
     if selected.is_empty() {
         eprintln!(
             "no experiment matches; ids: {}",
@@ -166,4 +257,9 @@ fn main() {
         f.write_all(s.as_bytes()).expect("write json");
         eprintln!("[json written to {path}]");
     }
+
+    // One record per invocation: the first campaign-bearing experiment
+    // (table 5's Phase A+B run when present), else a static stub.
+    let record = selected.iter_mut().find_map(|e| e.ledger.take());
+    finish(&opts, &out, record);
 }

@@ -18,6 +18,7 @@ use fault::campaign::{self, CampaignResult};
 use fault::coverage::CoverageReport;
 use fault::model::FaultList;
 use netlist::synth::TechStyle;
+use obs::{LedgerRecord, MetricRegistry};
 use plasma::{PlasmaConfig, PlasmaCore, COMPONENT_NAMES};
 use sbst::classify::{self, ComponentClass};
 use sbst::cost::CostModel;
@@ -36,6 +37,10 @@ pub struct Experiment {
     pub text: String,
     /// Machine-readable payload.
     pub data: serde_json::Value,
+    /// Run-ledger record, filled by campaign-bearing experiments so the
+    /// driver can append it to `results/LEDGER.jsonl` (`kind`/`cmd` are
+    /// finalized by the bin).
+    pub ledger: Option<LedgerRecord>,
 }
 
 impl serde_json::ToJson for Experiment {
@@ -55,7 +60,40 @@ fn experiment(id: &str, title: &str, text: String, data: serde_json::Value) -> E
         title: title.to_string(),
         text,
         data,
+        ledger: None,
     }
+}
+
+/// Stable netlist fingerprint for ledger comparability keys.
+pub fn netlist_fingerprint(core: &PlasmaCore) -> String {
+    let nl = core.netlist();
+    format!(
+        "n{}/g{}/d{}",
+        nl.num_nets(),
+        nl.gates().len(),
+        nl.dffs().len()
+    )
+}
+
+/// Build the ledger record a finished campaign implies. The caller (the
+/// bin) finalizes `kind`/`cmd` before appending.
+pub fn campaign_ledger_record(
+    kind: &str,
+    core: &PlasmaCore,
+    result: &CampaignResult,
+    coverage_pct: Option<f64>,
+) -> LedgerRecord {
+    let s = &result.stats;
+    let mut rec = LedgerRecord::now(kind, "");
+    rec.netlist = netlist_fingerprint(core);
+    rec.threads = s.threads as u64;
+    rec.faults = result.faults.len() as u64;
+    rec.cycles = s.cycles_simulated;
+    rec.wall_seconds = s.wall_seconds;
+    rec.mlane_cps = s.mlane_cycles_per_sec();
+    rec.coverage_pct = coverage_pct;
+    rec.latency = s.latency.to_json();
+    rec
 }
 
 /// Paper reference values for Table 3 (gate counts, NAND2 units).
@@ -308,6 +346,12 @@ pub struct RunOptions {
     pub progress: bool,
     /// JSONL trace sink for campaign events (`--trace`).
     pub trace_path: Option<std::path::PathBuf>,
+    /// Hot-loop self-profiler (`--profile`); phase wall-times are
+    /// appended to the experiment text and published as metrics.
+    pub profile: bool,
+    /// Registry receiving campaign/flow metrics (`--metrics-out`,
+    /// `--serve`); cloning shares the underlying store.
+    pub metrics: Option<MetricRegistry>,
 }
 
 impl Default for RunOptions {
@@ -318,6 +362,8 @@ impl Default for RunOptions {
             threads: 0,
             progress: false,
             trace_path: None,
+            profile: false,
+            metrics: None,
         }
     }
 }
@@ -330,8 +376,19 @@ impl RunOptions {
             threads: self.threads,
             progress: self.progress,
             trace_path: self.trace_path.clone(),
+            profile: self.profile,
+            metrics: self.metrics.clone(),
             ..Default::default()
         }
+    }
+}
+
+/// Append the self-profiler table to an experiment text when the run
+/// actually profiled (no-op otherwise, so default output is unchanged).
+fn profile_section(text: &mut String, stats: &campaign::CampaignStats) {
+    if !stats.profile.is_empty() {
+        text.push_str("\nhot-loop profile:\n");
+        text.push_str(&stats.profile.to_table());
     }
 }
 
@@ -388,12 +445,23 @@ pub fn table_5(core: &PlasmaCore, opts: &RunOptions) -> Experiment {
     text.push_str(&line);
     text.push('\n');
     text.push_str("\npaper: overall fault coverage > 92% after Phase A+B\n");
-    experiment(
+    // The Phase A+B run is the paper's headline configuration — that is
+    // the one the ledger tracks across sessions.
+    let headline = &reports[1];
+    profile_section(&mut text, &headline.campaign.stats);
+    let mut exp = experiment(
         "table5",
         "Table 5: fault coverage with successive phase development",
         text,
         serde_json::Value::Object(data),
-    )
+    );
+    exp.ledger = Some(campaign_ledger_record(
+        "tables-table5",
+        core,
+        &headline.campaign,
+        Some(headline.coverage.overall_pct),
+    ));
+    exp
 }
 
 fn short_phase(p: Phase) -> &'static str {
@@ -878,7 +946,17 @@ pub fn campaign_benchmark(opts: &RunOptions) -> Experiment {
         opts.threads
     };
 
-    let serial = flow::run_campaign_threads(&core, &selftest, &faults, budget, 1);
+    let hooks = campaign::CampaignHooks {
+        profiler: if opts.profile {
+            obs::Profiler::new()
+        } else {
+            obs::Profiler::disabled()
+        },
+        metrics: opts.metrics.clone(),
+        ..Default::default()
+    };
+    let serial = flow::run_campaign_of_hooks(&core, &selftest.program, &faults, budget, 1, &hooks);
+    let coverage_pct = 100.0 * serial.coverage();
     let mut text = format!(
         "Phase A+B campaign: {} faults, budget {} cycles/batch\n\n",
         faults.len(),
@@ -891,8 +969,12 @@ pub fn campaign_benchmark(opts: &RunOptions) -> Experiment {
     text.push_str(&stats_line("serial", &serial));
     let mut runs = vec![stats_json(&serial)];
     let mut speedup = 1.0;
+    // The ledger record tracks the run at the *requested* thread count —
+    // that is the configuration whose throughput trend matters.
+    let mut ledger = campaign_ledger_record("tables-stats", &core, &serial, Some(coverage_pct));
     if threads > 1 {
-        let par = flow::run_campaign_threads(&core, &selftest, &faults, budget, threads);
+        let par =
+            flow::run_campaign_of_hooks(&core, &selftest.program, &faults, budget, threads, &hooks);
         assert_eq!(
             par.detections, serial.detections,
             "parallel campaign diverged from serial"
@@ -900,11 +982,18 @@ pub fn campaign_benchmark(opts: &RunOptions) -> Experiment {
         speedup = serial.stats.wall_seconds / par.stats.wall_seconds.max(1e-9);
         text.push_str(&stats_line("parallel", &par));
         text.push_str(&format!("\nspeedup at {threads} threads: {speedup:.2}x\n"));
+        ledger = campaign_ledger_record("tables-stats", &core, &par, Some(coverage_pct));
+        ledger.extra.insert(
+            "speedup".to_string(),
+            serde_json::Value::F64(speedup),
+        );
         runs.push(stats_json(&par));
+        profile_section(&mut text, &par.stats);
     } else {
         text.push_str("\n(auto thread count resolved to 1 — no parallel run to compare)\n");
+        profile_section(&mut text, &serial.stats);
     }
-    experiment(
+    let mut exp = experiment(
         "campaign",
         "Campaign throughput benchmark (serial vs parallel)",
         text,
@@ -914,7 +1003,9 @@ pub fn campaign_benchmark(opts: &RunOptions) -> Experiment {
             "runs": runs,
             "speedup": speedup,
         }),
-    )
+    );
+    exp.ledger = Some(ledger);
+    exp
 }
 
 fn worker_table(s: &fault::campaign::CampaignStats) -> String {
@@ -990,6 +1081,9 @@ pub fn observability_report(opts: &RunOptions, stride: u64) -> Experiment {
         &s.latency.to_table(),
     );
     md_section(&mut md, "Worker throughput", &worker_table(s));
+    if !s.profile.is_empty() {
+        md_section(&mut md, "Hot-loop self-profile", &s.profile.to_table());
+    }
 
     let data = serde_json::json!({
         "phase": r.selftest.phase.name(),
@@ -1010,12 +1104,19 @@ pub fn observability_report(opts: &RunOptions, stride: u64) -> Experiment {
         "latency": s.latency.to_json(),
         "workers": workers_json(s),
     });
-    experiment(
+    let mut exp = experiment(
         "report",
         "Campaign observability report (provenance, timeline, latency)",
         md,
         data,
-    )
+    );
+    exp.ledger = Some(campaign_ledger_record(
+        "tables-report",
+        &core,
+        &r.campaign,
+        Some(r.coverage.overall_pct),
+    ));
+    exp
 }
 
 fn fault_net(nl: &netlist::Netlist, site: fault::model::FaultSite) -> netlist::Net {
@@ -1104,12 +1205,20 @@ pub fn escapes_report(opts: &RunOptions) -> Experiment {
             }));
         }
     }
-    experiment(
+    profile_section(&mut text, &r.campaign.stats);
+    let mut exp = experiment(
         "escapes",
         "Undetected faults by component with SCOAP testability",
         text,
         serde_json::Value::Array(rows),
-    )
+    );
+    exp.ledger = Some(campaign_ledger_record(
+        "tables-escapes",
+        &core,
+        &r.campaign,
+        Some(r.coverage.overall_pct),
+    ));
+    exp
 }
 
 #[cfg(test)]

@@ -1,0 +1,160 @@
+//! End-to-end tests of the `ledger` binary: trend rendering, the
+//! regression gate's exit code, and the `--append-degraded` negative
+//! test used by CI. Synthetic records keep this fast — no campaigns run.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use obs::ledger::{self, LedgerRecord};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ledger")
+}
+
+/// A scratch directory unique to this test (std-only; no tempfile dep).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sbst-ledger-gate-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn record(ts: u64, mlane_cps: f64, coverage: f64) -> LedgerRecord {
+    let mut r = LedgerRecord::now("tables-stats", "test");
+    r.ts = ts;
+    r.netlist = "n10/g20/d3".into();
+    r.threads = 2;
+    r.faults = 400;
+    r.cycles = 50_000;
+    r.wall_seconds = 1.0;
+    r.mlane_cps = mlane_cps;
+    r.coverage_pct = Some(coverage);
+    r
+}
+
+#[test]
+fn gate_passes_on_steady_ledger_and_writes_trend_json() {
+    let dir = scratch("pass");
+    let ledger_path = dir.join("LEDGER.jsonl");
+    let trend_path = dir.join("BENCH_trend.json");
+    ledger::append(&ledger_path, &record(1000, 2.50, 93.3)).unwrap();
+    ledger::append(&ledger_path, &record(2000, 2.45, 93.3)).unwrap();
+
+    let out = Command::new(bin())
+        .args(["--ledger"])
+        .arg(&ledger_path)
+        .args(["--json"])
+        .arg(&trend_path)
+        .arg("--check")
+        .output()
+        .expect("run ledger bin");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "expected pass:\n{stdout}");
+    assert!(stdout.contains("PASS"), "{stdout}");
+    assert!(stdout.contains("tables-stats"), "{stdout}");
+
+    let trend = std::fs::read_to_string(&trend_path).expect("trend json written");
+    let v = serde_json::from_str(&trend).expect("trend json parses");
+    assert_eq!(v["gate"]["pass"], serde_json::Value::Bool(true), "{trend}");
+    assert_eq!(v["runs"].as_array().unwrap().len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gate_fails_on_throughput_regression() {
+    let dir = scratch("fail");
+    let ledger_path = dir.join("LEDGER.jsonl");
+    ledger::append(&ledger_path, &record(1000, 2.50, 93.3)).unwrap();
+    ledger::append(&ledger_path, &record(2000, 2.00, 93.3)).unwrap(); // -20%
+
+    let out = Command::new(bin())
+        .args(["--ledger"])
+        .arg(&ledger_path)
+        .args(["--json"])
+        .arg(dir.join("t.json"))
+        .arg("--check")
+        .output()
+        .expect("run ledger bin");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "expected gate failure:\n{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // The same ledger passes when the tolerance is widened.
+    let out = Command::new(bin())
+        .args(["--ledger"])
+        .arg(&ledger_path)
+        .args(["--json"])
+        .arg(dir.join("t.json"))
+        .args(["--check", "--max-drop", "30"])
+        .output()
+        .expect("run ledger bin");
+    assert!(out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gate_fails_on_any_coverage_drop() {
+    let dir = scratch("cov");
+    let ledger_path = dir.join("LEDGER.jsonl");
+    ledger::append(&ledger_path, &record(1000, 2.50, 93.3)).unwrap();
+    ledger::append(&ledger_path, &record(2000, 2.50, 92.8)).unwrap();
+
+    let out = Command::new(bin())
+        .args(["--ledger"])
+        .arg(&ledger_path)
+        .args(["--json"])
+        .arg(dir.join("t.json"))
+        .arg("--check")
+        .output()
+        .expect("run ledger bin");
+    assert_eq!(out.status.code(), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn append_degraded_forces_a_gate_failure() {
+    let dir = scratch("degraded");
+    let ledger_path = dir.join("LEDGER.jsonl");
+    ledger::append(&ledger_path, &record(1000, 2.50, 93.3)).unwrap();
+
+    // One record alone passes (a first run cannot regress)...
+    let out = Command::new(bin())
+        .args(["--ledger"])
+        .arg(&ledger_path)
+        .args(["--json"])
+        .arg(dir.join("t.json"))
+        .arg("--check")
+        .output()
+        .expect("run ledger bin");
+    assert!(out.status.success());
+
+    // ...but a degraded clone must trip the gate: the CI negative test.
+    let out = Command::new(bin())
+        .args(["--ledger"])
+        .arg(&ledger_path)
+        .args(["--json"])
+        .arg(dir.join("t.json"))
+        .args(["--append-degraded", "0.5", "--check"])
+        .output()
+        .expect("run ledger bin");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "degraded clone must fail:\n{stdout}");
+
+    let (records, skipped) = ledger::load(&ledger_path).unwrap();
+    assert_eq!(records.len(), 2, "degraded clone was appended");
+    assert_eq!(skipped, 0);
+    assert!((records[1].mlane_cps - 1.25).abs() < 1e-9);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_flag_exits_with_usage_error() {
+    let out = Command::new(bin())
+        .arg("--bogus")
+        .output()
+        .expect("run ledger bin");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use mips::gen::{random_parts, GenConfig};
-use obs::{Progress, Tracer};
+use obs::{MetricRegistry, Progress, Tracer};
 use plasma::PlasmaCore;
 use serde_json::Value;
 
@@ -58,6 +58,11 @@ pub struct FuzzHooks {
     pub tracer: Tracer,
     /// Progress ticker over seeds.
     pub progress: Option<Progress>,
+    /// Registry receiving `difftest_seeds_total`,
+    /// `difftest_divergences_total`, `difftest_cycles_total`, and a
+    /// `difftest_seeds_per_sec` gauge. Updates happen at wave
+    /// granularity, never inside the lockstep loop.
+    pub metrics: Option<MetricRegistry>,
 }
 
 impl Default for FuzzHooks {
@@ -65,6 +70,7 @@ impl Default for FuzzHooks {
         FuzzHooks {
             tracer: Tracer::disabled(),
             progress: None,
+            metrics: None,
         }
     }
 }
@@ -106,6 +112,24 @@ impl FuzzReport {
 
 /// Run the lockstep fuzzer on the Plasma core.
 pub fn fuzz_plasma(core: &PlasmaCore, cfg: &FuzzConfig, hooks: &FuzzHooks) -> FuzzReport {
+    let t0 = std::time::Instant::now();
+    // Pre-registered counter handles: the wave merge loop pays one
+    // atomic add per counter, never a registry lock.
+    let counters = hooks.metrics.as_ref().map(|reg| {
+        (
+            reg.counter("difftest_seeds_total", "lockstep seeds executed", &[]),
+            reg.counter(
+                "difftest_divergences_total",
+                "ISS-vs-netlist divergences found",
+                &[],
+            ),
+            reg.counter(
+                "difftest_cycles_total",
+                "lockstep cycles simulated across seeds",
+                &[],
+            ),
+        )
+    });
     let threads = if cfg.threads == 0 {
         fault::campaign::default_threads()
     } else {
@@ -196,6 +220,13 @@ pub fn fuzz_plasma(core: &PlasmaCore, cfg: &FuzzConfig, hooks: &FuzzHooks) -> Fu
                     ],
                 );
             }
+            if let Some((seeds, divs, cycles)) = &counters {
+                seeds.inc(1);
+                cycles.inc(outcome.cycles);
+                if outcome.divergence.is_some() {
+                    divs.inc(1);
+                }
+            }
             exercise.absorb(&ex);
             outcomes.push(outcome);
         }
@@ -227,6 +258,20 @@ pub fn fuzz_plasma(core: &PlasmaCore, cfg: &FuzzConfig, hooks: &FuzzHooks) -> Fu
         ],
     );
     hooks.tracer.flush();
+
+    if let Some(reg) = &hooks.metrics {
+        let wall = t0.elapsed().as_secs_f64();
+        reg.gauge(
+            "difftest_seeds_per_sec",
+            "seed throughput of the last fuzzing run",
+            &[],
+        )
+        .set(if wall > 0.0 {
+            outcomes.len() as f64 / wall
+        } else {
+            0.0
+        });
+    }
 
     FuzzReport { outcomes, exercise }
 }

@@ -30,7 +30,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use netlist::Netlist;
-use obs::{LatencyHistogram, Progress, Tracer};
+use obs::{
+    LatencyHistogram, MetricRegistry, PhaseProfile, ProfilePhase, Profiler, Progress, Tracer,
+};
 use serde_json::Value;
 
 use crate::model::{Fault, FaultList};
@@ -122,6 +124,9 @@ pub struct CampaignStats {
     pub latency: LatencyHistogram,
     /// Per-worker batch/cycle/wall metrics (one entry when serial).
     pub workers: Vec<WorkerStats>,
+    /// Hot-loop phase profile accumulated by this run (empty unless the
+    /// hooks carried an enabled [`Profiler`]).
+    pub profile: PhaseProfile,
 }
 
 impl Default for CampaignStats {
@@ -135,6 +140,7 @@ impl Default for CampaignStats {
             threads: 1,
             latency: LatencyHistogram::new(),
             workers: Vec::new(),
+            profile: PhaseProfile::default(),
         }
     }
 }
@@ -160,15 +166,27 @@ fn latency_of(detections: &[Detection]) -> LatencyHistogram {
 }
 
 /// Observability hooks a campaign runner threads through its batch loop:
-/// a structured tracer for `campaign`/`batch` events and an optional
-/// live-progress ticker. Both are cheap clonable handles; the default is
-/// fully disabled and adds one branch per batch.
+/// a structured tracer for `campaign`/`batch` events, an optional
+/// live-progress ticker, a hot-loop [`Profiler`], and an optional
+/// [`MetricRegistry`] receiving batch/cycle/detection counters. All are
+/// cheap clonable handles; the default is fully disabled and adds one
+/// branch per batch. None of them touch simulation state, so results
+/// stay bit-identical with hooks on or off.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignHooks {
     /// Structured event sink (disabled by default).
     pub tracer: Tracer,
     /// Live batch-progress counters + stderr ticker.
     pub progress: Option<Progress>,
+    /// Self-profiler attributing wall-time to hot-loop phases (disabled
+    /// by default). Share the same handle with the testbench (e.g.
+    /// `SelfTestBench::with_profiler`) to capture the per-cycle phases
+    /// too; the runner itself only times batch patch/reset.
+    pub profiler: Profiler,
+    /// Registry receiving `sbst_batches_total`, `sbst_cycles_total`,
+    /// `sbst_faults_detected_total`, a detection-latency histogram, and
+    /// a throughput gauge. Updates happen at batch granularity.
+    pub metrics: Option<MetricRegistry>,
 }
 
 impl CampaignHooks {
@@ -182,9 +200,60 @@ impl CampaignHooks {
     pub fn with_tracer(tracer: Tracer) -> CampaignHooks {
         CampaignHooks {
             tracer,
-            progress: None,
+            ..CampaignHooks::default()
         }
     }
+}
+
+/// Pre-registered per-batch counter handles (so the batch loop pays one
+/// atomic add per counter, never a registry lock).
+struct BatchCounters {
+    batches: obs::Counter,
+    cycles: obs::Counter,
+}
+
+impl BatchCounters {
+    fn of(registry: &MetricRegistry) -> BatchCounters {
+        BatchCounters {
+            batches: registry.counter(
+                "sbst_batches_total",
+                "63-fault simulation batches completed",
+                &[],
+            ),
+            cycles: registry.counter(
+                "sbst_cycles_total",
+                "clock cycles simulated across all batches",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Fold a finished run's summary metrics into the registry: detections,
+/// throughput gauge, and the detection-latency histogram.
+fn publish_run_metrics(registry: &MetricRegistry, stats: &CampaignStats) {
+    registry
+        .counter(
+            "sbst_faults_detected_total",
+            "faults detected (dropped) across campaigns",
+            &[],
+        )
+        .inc(stats.faults_dropped);
+    registry
+        .gauge(
+            "sbst_mlane_cycles_per_sec",
+            "throughput of the last campaign, millions of lane-cycles per second",
+            &[],
+        )
+        .set(stats.mlane_cycles_per_sec());
+    registry
+        .histogram(
+            "sbst_detection_latency_cycles",
+            "cycle of first divergence per detected fault",
+            &[],
+        )
+        .absorb(&stats.latency);
+    stats.profile.export(registry);
 }
 
 /// Number of 63-fault batches a campaign over `faults` will run — the
@@ -271,6 +340,8 @@ impl CampaignResult {
         let mut workers = self.stats.workers.clone();
         workers.extend(other.stats.workers.iter().cloned());
         let latency = latency_of(&detections);
+        let mut profile = self.stats.profile;
+        profile.absorb(&other.stats.profile);
         CampaignResult {
             faults: self.faults.clone(),
             detections,
@@ -283,6 +354,7 @@ impl CampaignResult {
                 threads: self.stats.threads.max(other.stats.threads),
                 latency,
                 workers,
+                profile,
             },
         }
     }
@@ -303,13 +375,20 @@ fn run_batch(
     batch: &[Fault],
     budget: u64,
     out: &mut [Detection],
+    profiler: &Profiler,
 ) -> u64 {
-    sim.clear_faults();
-    for (k, &f) in batch.iter().enumerate() {
-        sim.inject(f, k + 1);
+    {
+        let _patch = profiler.scope(ProfilePhase::Patch);
+        sim.clear_faults();
+        for (k, &f) in batch.iter().enumerate() {
+            sim.inject(f, k + 1);
+        }
     }
-    sim.reset_state();
-    tb.begin(sim);
+    {
+        let _reset = profiler.scope(ProfilePhase::Reset);
+        sim.reset_state();
+        tb.begin(sim);
+    }
     let active: u64 = if batch.len() == 63 {
         !1 // lanes 1..=63
     } else {
@@ -419,6 +498,8 @@ pub fn run_with(
     hooks: &CampaignHooks,
 ) -> CampaignResult {
     let t0 = Instant::now();
+    let profile_start = hooks.profiler.snapshot();
+    let counters = hooks.metrics.as_ref().map(BatchCounters::of);
     let mut detections = vec![Detection::Undetected; faults.len()];
     let budget = tb.cycles();
     trace_campaign_begin(&hooks.tracer, "serial", sim, faults, budget, 1);
@@ -430,12 +511,16 @@ pub fn run_with(
         .zip(detections.chunks_mut(63))
         .enumerate()
     {
-        let c = run_batch(sim, tb, batch, budget, out);
+        let c = run_batch(sim, tb, batch, budget, out, &hooks.profiler);
         cycles += c;
         batches += 1;
         trace_batch(&hooks.tracer, b, out, c);
         if let Some(p) = &hooks.progress {
             p.inc(1);
+        }
+        if let Some(ctr) = &counters {
+            ctr.batches.inc(1);
+            ctr.cycles.inc(c);
         }
     }
     let wall = t0.elapsed().as_secs_f64();
@@ -454,10 +539,14 @@ pub fn run_with(
             cycles,
             wall_seconds: wall,
         }],
+        profile: hooks.profiler.snapshot().since(&profile_start),
     };
     trace_campaign_end(&hooks.tracer, &stats);
     if let Some(p) = &hooks.progress {
         p.finish();
+    }
+    if let Some(reg) = &hooks.metrics {
+        publish_run_metrics(reg, &stats);
     }
     CampaignResult {
         faults: faults.clone(),
@@ -545,6 +634,7 @@ pub fn run_parallel_with<F: TestbenchFactory>(
     }
 
     let t0 = Instant::now();
+    let profile_start = hooks.profiler.snapshot();
     let budget = factory.create().cycles();
     trace_campaign_begin(&hooks.tracer, "parallel", proto, faults, budget, workers);
     let mut detections = vec![Detection::Undetected; faults.len()];
@@ -562,6 +652,9 @@ pub fn run_parallel_with<F: TestbenchFactory>(
                     let tw = Instant::now();
                     let mut sim = proto.clone();
                     let mut tb = factory.create();
+                    // Per-worker handle clones share the same atomic
+                    // accumulators, so updates merge for free.
+                    let counters = hooks.metrics.as_ref().map(BatchCounters::of);
                     let mut cycles = 0u64;
                     let mut done = 0u64;
                     loop {
@@ -570,12 +663,23 @@ pub fn run_parallel_with<F: TestbenchFactory>(
                             break;
                         }
                         let mut out = slots[b].lock().expect("batch slot poisoned");
-                        let c = run_batch(&mut sim, &mut tb, batches[b], budget, &mut out);
+                        let c = run_batch(
+                            &mut sim,
+                            &mut tb,
+                            batches[b],
+                            budget,
+                            &mut out,
+                            &hooks.profiler,
+                        );
                         cycles += c;
                         done += 1;
                         trace_batch(&hooks.tracer, b, &out, c);
                         if let Some(p) = &hooks.progress {
                             p.inc(1);
+                        }
+                        if let Some(ctr) = &counters {
+                            ctr.batches.inc(1);
+                            ctr.cycles.inc(c);
                         }
                     }
                     WorkerStats {
@@ -605,10 +709,14 @@ pub fn run_parallel_with<F: TestbenchFactory>(
         threads: workers,
         latency: latency_of(&detections),
         workers: worker_stats,
+        profile: hooks.profiler.snapshot().since(&profile_start),
     };
     trace_campaign_end(&hooks.tracer, &stats);
     if let Some(p) = &hooks.progress {
         p.finish();
+    }
+    if let Some(reg) = &hooks.metrics {
+        publish_run_metrics(reg, &stats);
     }
     CampaignResult {
         faults: faults.clone(),
@@ -811,6 +919,77 @@ mod tests {
             assert_eq!(par.stats.batches, serial.stats.batches);
             assert_eq!(par.stats.cycles_simulated, serial.stats.cycles_simulated);
         }
+    }
+
+    /// Zero (or negative) wall time must yield 0.0 throughput, never
+    /// inf/NaN — sub-millisecond unit-test campaigns hit this.
+    #[test]
+    fn zero_duration_throughput_is_zero_not_inf() {
+        let stats = CampaignStats {
+            cycles_simulated: 1_000_000,
+            wall_seconds: 0.0,
+            ..CampaignStats::default()
+        };
+        assert_eq!(stats.mlane_cycles_per_sec(), 0.0);
+        let stats = CampaignStats {
+            cycles_simulated: 1_000_000,
+            wall_seconds: -1.0,
+            ..CampaignStats::default()
+        };
+        assert_eq!(stats.mlane_cycles_per_sec(), 0.0);
+        let w = WorkerStats {
+            worker: 0,
+            batches: 1,
+            cycles: 1_000_000,
+            wall_seconds: 0.0,
+        };
+        assert_eq!(w.mlane_cycles_per_sec(), 0.0);
+        assert!(w.mlane_cycles_per_sec().is_finite());
+    }
+
+    /// Enabling every hook (profiler + metrics + tracing disabled) must
+    /// not change detections, at any thread count: the acceptance
+    /// criterion that instrumentation is observation-only.
+    #[test]
+    fn hooks_do_not_change_results() {
+        let mut b = NetlistBuilder::new("wide");
+        let a = b.inputs("a", 24);
+        let c = b.inputs("b", 24);
+        let y = b.xor_word(&a, &c);
+        let q = b.dff_word(&y, 0);
+        let z = b.and_word(&q, &a);
+        b.outputs("z", &z);
+        let nl = b.finish().unwrap();
+        let faults = FaultList::extract(&nl).collapsed(&nl);
+        let vectors: Vec<Vec<(&str, u64)>> = vec![
+            vec![("a", 0xAAAAAA), ("b", 0x555555)],
+            vec![("a", 0x123456), ("b", 0x654321)],
+        ];
+        let plain = run_vectors(&nl, &faults, &vectors);
+        let hooks = CampaignHooks {
+            profiler: Profiler::new(),
+            metrics: Some(MetricRegistry::new()),
+            ..CampaignHooks::default()
+        };
+        for threads in [1usize, 2, 4] {
+            let proto = ParallelSim::new(&nl);
+            let factory = || VectorBench::new(&nl, &vectors);
+            let par = run_parallel_with(&proto, &faults, &factory, threads, &hooks);
+            assert_eq!(
+                par.detections, plain.detections,
+                "hooks changed detections at {threads} threads"
+            );
+        }
+        // The profiler actually saw the batch phases...
+        let snap = hooks.profiler.snapshot();
+        assert!(snap.count(ProfilePhase::Patch) > 0);
+        assert!(snap.count(ProfilePhase::Reset) > 0);
+        // ...and the registry accumulated batch counters.
+        let reg = hooks.metrics.as_ref().unwrap();
+        let text = reg.to_prometheus();
+        assert!(text.contains("sbst_batches_total"), "{text}");
+        assert!(text.contains("sbst_cycles_total"), "{text}");
+        assert!(text.contains("sbst_faults_detected_total"), "{text}");
     }
 
     /// More than 63 faults exercises multi-batch bookkeeping.

@@ -3,7 +3,7 @@
 //!
 //! Like the workspace's `proptest`/`criterion`/`serde_json` shims, this
 //! crate is std-only and offline: no subscriber registries, no async, no
-//! global state. Three small pieces:
+//! global state. The pieces:
 //!
 //! * [`trace::Tracer`] — a clonable handle to a JSONL event sink. A
 //!   disabled tracer is a `None` behind the handle, so instrumented code
@@ -13,19 +13,37 @@
 //!   durations.
 //! * [`metrics::LatencyHistogram`] — power-of-two bucketed histogram of
 //!   detection latencies (cycles from test start to first divergence).
+//! * [`registry::MetricRegistry`] — named counters, gauges, and
+//!   histograms behind lock-free atomic handles, exported as Prometheus
+//!   text exposition or a JSON snapshot.
+//! * [`profile::Profiler`] — scoped-timer self-profiler attributing
+//!   wall-time to the fault-sim hot-loop phases ([`ProfilePhase`]).
+//! * [`ledger`] — the append-only schema-versioned run ledger
+//!   (`results/LEDGER.jsonl`) plus trend tables and the perf-regression
+//!   gate that `bench --bin ledger` exposes.
+//! * [`serve`] — a std-`TcpListener` endpoint publishing a registry live
+//!   at `/metrics` (Prometheus) and `/json` during long runs.
 //! * [`progress::Progress`] — shared atomic counters plus a rate-limited
 //!   stderr ticker, for watching long campaigns without touching their
 //!   hot loops.
 //!
 //! The `fault::campaign` runners accept these via `CampaignHooks`; the
-//! `tables` binary wires them to `--progress` and `--report`.
+//! `tables` and `difftest` binaries wire them to `--progress`,
+//! `--report`, `--profile`, `--metrics-out`, `--serve`, and `--ledger`.
 
 #![warn(missing_docs)]
 
+pub mod ledger;
 pub mod metrics;
+pub mod profile;
 pub mod progress;
+pub mod registry;
+pub mod serve;
 pub mod trace;
 
+pub use ledger::LedgerRecord;
 pub use metrics::LatencyHistogram;
+pub use profile::{PhaseProfile, ProfilePhase, Profiler};
 pub use progress::Progress;
+pub use registry::{Counter, Gauge, Histogram, MetricRegistry};
 pub use trace::{Span, Tracer};

@@ -31,7 +31,9 @@ impl LatencyHistogram {
         LatencyHistogram::default()
     }
 
-    /// Bucket index for a latency value.
+    /// Bucket index for a latency value. Values at or above
+    /// `2^(LATENCY_BUCKETS-2)` saturate into the final, open-ended
+    /// bucket.
     pub fn bucket_of(cycle: u64) -> usize {
         if cycle == 0 {
             0
@@ -40,11 +42,30 @@ impl LatencyHistogram {
         }
     }
 
-    /// Inclusive-exclusive cycle range `[lo, hi)` of a bucket.
+    /// Cycle range of a bucket as `(lo, hi)`.
+    ///
+    /// For every bucket but the last the range is inclusive-exclusive
+    /// `[lo, hi)`. The final bucket is open-ended — it absorbs every
+    /// value `bucket_of` saturates, up to and including `u64::MAX` — so
+    /// its `hi` is `u64::MAX` and, uniquely, inclusive. Use
+    /// [`bucket_contains`](Self::bucket_contains) for membership tests
+    /// instead of comparing against `hi` directly.
     pub fn bucket_range(k: usize) -> (u64, u64) {
         match k {
             0 => (0, 1),
+            _ if k == LATENCY_BUCKETS - 1 => (1u64 << (k - 1), u64::MAX),
             _ => (1u64 << (k - 1), 1u64 << k),
+        }
+    }
+
+    /// Whether `cycle` falls into bucket `k` (handles the open-ended
+    /// final bucket correctly).
+    pub fn bucket_contains(k: usize, cycle: u64) -> bool {
+        let (lo, hi) = Self::bucket_range(k);
+        if k == LATENCY_BUCKETS - 1 {
+            cycle >= lo
+        } else {
+            cycle >= lo && cycle < hi
         }
     }
 
@@ -77,6 +98,16 @@ impl LatencyHistogram {
         &self.buckets
     }
 
+    /// Add `n` directly into bucket `k` (used when merging counts that
+    /// are already bucketed, e.g. a registry histogram snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= LATENCY_BUCKETS`.
+    pub fn add_bucket(&mut self, k: usize, n: u64) {
+        self.buckets[k] += n;
+    }
+
     /// Add another histogram's counts into this one.
     pub fn absorb(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -97,17 +128,15 @@ impl LatencyHistogram {
             "latency (cycles)", "faults", "%", "cum %", "histogram"
         );
         let mut cum = 0u64;
-        let last = self
-            .buckets
-            .iter()
-            .rposition(|&b| b != 0)
-            .unwrap_or(0);
+        let last = self.buckets.iter().rposition(|&b| b != 0).unwrap_or(0);
         for k in 0..=last {
             let n = self.buckets[k];
             cum += n;
             let (lo, hi) = Self::bucket_range(k);
             let label = if k == 0 {
                 "0".to_string()
+            } else if k == LATENCY_BUCKETS - 1 {
+                format!("{lo}+")
             } else {
                 format!("{}..{}", lo, hi - 1)
             };
@@ -176,6 +205,85 @@ mod tests {
         let rows = j.as_array().unwrap();
         let total: u64 = rows.iter().map(|r| r["count"].as_u64().unwrap()).sum();
         assert_eq!(total, 7);
+    }
+
+    /// Exhaustive boundary property: for every power-of-two edge value
+    /// `c` in {0, 1, 2^k - 1, 2^k, u64::MAX}, the bucket `bucket_of`
+    /// assigns must actually contain `c`. Before the open-ended-bucket
+    /// fix, `bucket_range(bucket_of(u64::MAX))` was `[2^31, 2^32)`,
+    /// which does not contain `u64::MAX`.
+    #[test]
+    fn bucket_of_and_bucket_range_agree_on_every_edge() {
+        let mut edges = vec![0u64, 1, u64::MAX];
+        for k in 1..64 {
+            edges.push((1u64 << k) - 1);
+            edges.push(1u64 << k);
+        }
+        for &c in &edges {
+            let k = LatencyHistogram::bucket_of(c);
+            assert!(k < LATENCY_BUCKETS, "bucket index out of range for {c}");
+            assert!(
+                LatencyHistogram::bucket_contains(k, c),
+                "bucket_range({k}) = {:?} does not contain {c}",
+                LatencyHistogram::bucket_range(k)
+            );
+        }
+        // Every non-final bucket's range maps back exactly; the final
+        // bucket is open-ended and owns everything from its lo upward.
+        for k in 0..LATENCY_BUCKETS {
+            let (lo, hi) = LatencyHistogram::bucket_range(k);
+            assert_eq!(LatencyHistogram::bucket_of(lo), k);
+            if k < LATENCY_BUCKETS - 1 {
+                assert!(lo < hi);
+                assert_eq!(LatencyHistogram::bucket_of(hi - 1), k);
+                assert_eq!(LatencyHistogram::bucket_of(hi), k + 1);
+            } else {
+                assert_eq!(hi, u64::MAX);
+                assert_eq!(LatencyHistogram::bucket_of(u64::MAX), k);
+            }
+        }
+    }
+
+    /// Merging two histograms must equal the histogram of the
+    /// concatenated cycle streams, for streams that hit bucket edges,
+    /// the open-ended bucket, and a pseudo-random spread.
+    #[test]
+    fn absorb_equals_histogram_of_concatenation() {
+        let mut xorshift = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            xorshift ^= xorshift << 13;
+            xorshift ^= xorshift >> 7;
+            xorshift ^= xorshift << 17;
+            xorshift
+        };
+        let mut a_cycles: Vec<u64> = vec![0, 1, 2, 3, 4, u64::MAX, 1 << 32, (1 << 31) - 1];
+        let mut b_cycles: Vec<u64> = vec![0, 1 << 31, u64::MAX - 1, 7];
+        for _ in 0..200 {
+            a_cycles.push(next() >> (next() % 64));
+            b_cycles.push(next() >> (next() % 64));
+        }
+        let mut merged = LatencyHistogram::from_cycles(a_cycles.iter().copied());
+        merged.absorb(&LatencyHistogram::from_cycles(b_cycles.iter().copied()));
+        let concat = LatencyHistogram::from_cycles(a_cycles.iter().chain(&b_cycles).copied());
+        assert_eq!(merged, concat);
+        assert_eq!(merged.count(), (a_cycles.len() + b_cycles.len()) as u64);
+    }
+
+    #[test]
+    fn add_bucket_matches_record() {
+        let direct = LatencyHistogram::from_cycles([0, 5, 5, 1u64 << 40]);
+        let mut rebuilt = LatencyHistogram::new();
+        for (k, &n) in direct.buckets().iter().enumerate() {
+            rebuilt.add_bucket(k, n);
+        }
+        assert_eq!(direct, rebuilt);
+    }
+
+    #[test]
+    fn open_ended_bucket_renders_as_saturated_label() {
+        let h = LatencyHistogram::from_cycles([u64::MAX, 3]);
+        let t = h.to_table();
+        assert!(t.contains("2147483648+"), "{t}");
     }
 
     #[test]

@@ -1,0 +1,544 @@
+//! A dependency-free metrics registry: named counters, gauges, and
+//! histograms with lock-free atomic updates, exported as Prometheus text
+//! exposition and as a JSON snapshot.
+//!
+//! Registration (cold path) takes a mutex; the returned handles are
+//! `Arc`-shared atomics, so updates from campaign worker threads are a
+//! single `fetch_add` with no lock and no allocation. Registering the
+//! same name + label set twice returns a handle to the same underlying
+//! metric, so independent subsystems can share counters without
+//! coordination.
+//!
+//! Histograms reuse the power-of-two bucketing of
+//! [`LatencyHistogram`](crate::metrics::LatencyHistogram) (bucket 0 holds
+//! value 0, bucket `k >= 1` holds `[2^(k-1), 2^k)`, the last bucket is
+//! open-ended), plus a running sum and count for Prometheus `_sum` /
+//! `_count` samples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde_json::{Map, Value};
+
+use crate::metrics::{LatencyHistogram, LATENCY_BUCKETS};
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn inc(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle holding one `f64` (stored as bits in an atomic).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add to the gauge (compare-and-swap loop; gauges are low-rate).
+    pub fn add(&self, v: f64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram state: per-bucket counts plus sum and count.
+#[derive(Debug)]
+struct HistoInner {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A histogram handle over the [`LatencyHistogram`] bucket scheme, safe
+/// to observe from many threads concurrently.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistoInner>);
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[LatencyHistogram::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold a whole latency histogram in (bucket-aligned, so this is
+    /// exact). The sum contribution is approximated by each bucket's
+    /// lower bound, since the source histogram only keeps counts.
+    pub fn absorb(&self, h: &LatencyHistogram) {
+        for (k, &n) in h.buckets().iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            self.0.buckets[k].fetch_add(n, Ordering::Relaxed);
+            let (lo, _) = LatencyHistogram::bucket_range(k);
+            self.0
+                .sum
+                .fetch_add(lo.saturating_mul(n), Ordering::Relaxed);
+            self.0.count.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the bucket counts as a [`LatencyHistogram`].
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for (k, b) in self.0.buckets.iter().enumerate() {
+            h.add_bucket(k, b.load(Ordering::Relaxed));
+        }
+        h
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// The kind-discriminated handle stored in the registry.
+#[derive(Clone, Debug)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// A clonable registry of named metrics. All clones share the same
+/// metric set; handles returned by registration stay valid for the
+/// registry's lifetime and update lock-free.
+#[derive(Clone, Debug, Default)]
+pub struct MetricRegistry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+/// Sanitize a metric or label name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*` for metrics, no leading digit).
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        let c = if ok { c } else { '_' };
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value for the text exposition format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a HELP string (backslash and newline only, per the format).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Render labels with one extra pair appended (for histogram `le`).
+fn render_labels_plus(labels: &[(String, String)], key: &str, val: &str) -> String {
+    let mut body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label(v)))
+        .collect();
+    body.push(format!("{key}=\"{val}\""));
+    format!("{{{}}}", body.join(","))
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricRegistry {
+        MetricRegistry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let name = sanitize_name(name);
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut entries = self.entries.lock().expect("metric registry poisoned");
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return e.handle.clone();
+        }
+        let handle = make();
+        entries.push(Entry {
+            name,
+            help: help.to_string(),
+            labels,
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Register (or look up) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name + labels were registered as a different
+    /// metric type.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, || {
+            Handle::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Handle::Counter(c) => c,
+            other => panic!(
+                "metric `{name}` already registered as {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Register (or look up) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a type conflict with an existing registration.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, || {
+            Handle::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+        }) {
+            Handle::Gauge(g) => g,
+            other => panic!(
+                "metric `{name}` already registered as {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Register (or look up) a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a type conflict with an existing registration.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.register(name, help, labels, || {
+            Handle::Histogram(Histogram(Arc::new(HistoInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            })))
+        }) {
+            Handle::Histogram(h) => h,
+            other => panic!(
+                "metric `{name}` already registered as {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Number of registered metrics (distinct name + label sets).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("metric registry poisoned").len()
+    }
+
+    /// Whether no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers once per metric
+    /// name, then one sample line per label set, histograms expanded
+    /// into cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let entries = self.entries.lock().expect("metric registry poisoned");
+        let mut out = String::new();
+        // The format requires all samples of one metric family in a
+        // single group, so iterate distinct names in first-registration
+        // order and emit every label set of a name together.
+        let mut names: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if !names.contains(&e.name.as_str()) {
+                names.push(&e.name);
+            }
+        }
+        for name in names {
+            let family: Vec<&Entry> = entries.iter().filter(|e| e.name == name).collect();
+            let first = family[0];
+            out.push_str(&format!("# HELP {} {}\n", name, escape_help(&first.help)));
+            out.push_str(&format!("# TYPE {} {}\n", name, first.handle.type_name()));
+            for e in family {
+                match &e.handle {
+                    Handle::Counter(c) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            e.name,
+                            render_labels(&e.labels),
+                            c.get()
+                        ));
+                    }
+                    Handle::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            e.name,
+                            render_labels(&e.labels),
+                            fmt_f64(g.get())
+                        ));
+                    }
+                    Handle::Histogram(h) => {
+                        let mut cum = 0u64;
+                        for (k, b) in h.0.buckets.iter().enumerate() {
+                            let n = b.load(Ordering::Relaxed);
+                            cum += n;
+                            if n == 0 && k != 0 {
+                                // Only emit boundaries that hold counts (plus
+                                // +Inf below); full 33-bucket dumps drown the
+                                // exposition in zeros.
+                                continue;
+                            }
+                            let (_, hi) = LatencyHistogram::bucket_range(k);
+                            let le = if k == LATENCY_BUCKETS - 1 {
+                                continue; // folded into +Inf
+                            } else {
+                                (hi - 1).to_string()
+                            };
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                e.name,
+                                render_labels_plus(&e.labels, "le", &le),
+                                cum
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            e.name,
+                            render_labels_plus(&e.labels, "le", "+Inf"),
+                            h.count()
+                        ));
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            e.name,
+                            render_labels(&e.labels),
+                            h.sum()
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            e.name,
+                            render_labels(&e.labels),
+                            h.count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A JSON snapshot of every metric:
+    /// `{"metrics": [{name, type, help, labels, ...}]}`. Counters carry
+    /// `value` (u64), gauges `value` (f64), histograms `buckets` /
+    /// `sum` / `count`.
+    pub fn snapshot(&self) -> Value {
+        let entries = self.entries.lock().expect("metric registry poisoned");
+        let metrics: Vec<Value> = entries
+            .iter()
+            .map(|e| {
+                let mut m = Map::new();
+                m.insert("name".into(), Value::String(e.name.clone()));
+                m.insert("type".into(), Value::String(e.handle.type_name().into()));
+                m.insert("help".into(), Value::String(e.help.clone()));
+                let mut labels = Map::new();
+                for (k, v) in &e.labels {
+                    labels.insert(k.clone(), Value::String(v.clone()));
+                }
+                m.insert("labels".into(), Value::Object(labels));
+                match &e.handle {
+                    Handle::Counter(c) => {
+                        m.insert("value".into(), Value::U64(c.get()));
+                    }
+                    Handle::Gauge(g) => {
+                        m.insert("value".into(), Value::F64(g.get()));
+                    }
+                    Handle::Histogram(h) => {
+                        m.insert("buckets".into(), h.snapshot().to_json());
+                        m.insert("sum".into(), Value::U64(h.sum()));
+                        m.insert("count".into(), Value::U64(h.count()));
+                    }
+                }
+                Value::Object(m)
+            })
+            .collect();
+        let mut root = Map::new();
+        root.insert("metrics".into(), Value::Array(metrics));
+        Value::Object(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_update_lock_free() {
+        let reg = MetricRegistry::new();
+        let c = reg.counter("batches_total", "batches", &[]);
+        let g = reg.gauge("speed", "rate", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc(1);
+                    }
+                });
+            }
+        });
+        g.set(12.5);
+        g.add(0.25);
+        assert_eq!(c.get(), 4000);
+        assert_eq!(g.get(), 12.75);
+    }
+
+    #[test]
+    fn re_registration_returns_the_same_metric() {
+        let reg = MetricRegistry::new();
+        let a = reg.counter("x", "", &[("worker", "0")]);
+        let b = reg.counter("x", "", &[("worker", "0")]);
+        let other = reg.counter("x", "", &[("worker", "1")]);
+        a.inc(2);
+        b.inc(3);
+        other.inc(10);
+        assert_eq!(a.get(), 5);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflict_panics() {
+        let reg = MetricRegistry::new();
+        let _ = reg.counter("m", "", &[]);
+        let _ = reg.gauge("m", "", &[]);
+    }
+
+    #[test]
+    fn histogram_buckets_cumulative_in_exposition() {
+        let reg = MetricRegistry::new();
+        let h = reg.histogram("lat", "latency", &[]);
+        h.observe(0);
+        h.observe(1);
+        h.observe(5);
+        h.observe(5);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE lat histogram"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"7\"} 4"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("lat_sum 11"), "{text}");
+        assert!(text.contains("lat_count 4"), "{text}");
+    }
+
+    #[test]
+    fn sanitizes_names_and_escapes_labels() {
+        let reg = MetricRegistry::new();
+        let c = reg.counter(
+            "bad-name.metric",
+            "with \"help\"\nnewline",
+            &[("p", "a\"b\\c\nd")],
+        );
+        c.inc(1);
+        let text = reg.to_prometheus();
+        assert!(text.contains("bad_name_metric"), "{text}");
+        assert!(text.contains("with \"help\"\\nnewline"), "{text}");
+        assert!(text.contains("p=\"a\\\"b\\\\c\\nd\""), "{text}");
+    }
+}

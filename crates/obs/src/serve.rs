@@ -1,0 +1,115 @@
+//! Minimal live metrics endpoint: a std-`TcpListener` HTTP/1.0 server
+//! good enough for `curl` and a Prometheus scraper during long
+//! campaigns. No dependencies, one thread, one connection at a time —
+//! scrape traffic, not serving traffic.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition 0.0.4
+//! * `GET /json`    — the registry's JSON snapshot
+//! * anything else  — 404 with a route listing
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+
+use crate::registry::MetricRegistry;
+
+/// Handle to a running metrics server.
+pub struct MetricServer {
+    addr: SocketAddr,
+}
+
+impl MetricServer {
+    /// The address the server actually bound (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// Serve `registry` on `127.0.0.1:port` from a detached daemon thread.
+/// Pass port 0 to let the OS pick; read it back from
+/// [`MetricServer::addr`]. The thread lives until process exit — the
+/// bins that use this serve for the duration of the run anyway.
+pub fn serve(registry: MetricRegistry, port: u16) -> std::io::Result<MetricServer> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("obs-serve".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+                // Read until the end of the request headers; a client's
+                // `write!` may arrive as several small segments.
+                let mut buf = [0u8; 2048];
+                let mut n = 0usize;
+                while n < buf.len() && !buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    match stream.read(&mut buf[n..]) {
+                        Ok(0) | Err(_) => break,
+                        Ok(m) => n += m,
+                    }
+                }
+                let request = String::from_utf8_lossy(&buf[..n]);
+                let path = request
+                    .lines()
+                    .next()
+                    .and_then(|l| l.split_whitespace().nth(1))
+                    .unwrap_or("/");
+                let (status, ctype, body) = match path {
+                    "/metrics" => (
+                        "200 OK",
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        registry.to_prometheus(),
+                    ),
+                    "/json" => (
+                        "200 OK",
+                        "application/json",
+                        serde_json::to_string_pretty(&registry.snapshot())
+                            .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+                    ),
+                    _ => (
+                        "404 Not Found",
+                        "text/plain; charset=utf-8",
+                        "routes: /metrics (Prometheus text), /json (snapshot)\n".to_string(),
+                    ),
+                };
+                let _ = write!(
+                    stream,
+                    "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+            }
+        })?;
+    Ok(MetricServer { addr })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_and_json() {
+        let reg = MetricRegistry::new();
+        reg.counter("requests_total", "requests seen", &[]).inc(7);
+        let srv = serve(reg, 0).unwrap();
+        let text = get(srv.addr(), "/metrics");
+        assert!(text.starts_with("HTTP/1.0 200 OK"), "{text}");
+        assert!(text.contains("requests_total 7"), "{text}");
+        let json = get(srv.addr(), "/json");
+        assert!(json.contains("application/json"), "{json}");
+        assert!(json.contains("requests_total"), "{json}");
+        let missing = get(srv.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    }
+}

@@ -2,12 +2,14 @@
 //! runs and co-simulation, and a 64-lane one for fault-simulation
 //! campaigns.
 
+use std::time::Instant;
+
 use fault::campaign::Testbench;
 use fault::sim::ParallelSim;
 use mips::iss::{Bus, BusCycle, Memory};
 use mips::Program;
 use netlist::sim::Simulator;
-use obs::Tracer;
+use obs::{ProfilePhase, Profiler, Tracer};
 use serde_json::Value;
 
 use crate::PlasmaCore;
@@ -122,6 +124,8 @@ pub struct SelfTestBench<'a> {
     trace_window: u64,
     win_diff: u64,
     batch_idx: u64,
+    // Optional hot-loop self-profiler (see `with_profiler`).
+    profiler: Profiler,
 }
 
 impl<'a> SelfTestBench<'a> {
@@ -153,6 +157,7 @@ impl<'a> SelfTestBench<'a> {
             trace_window: 0,
             win_diff: 0,
             batch_idx: 0,
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -163,6 +168,19 @@ impl<'a> SelfTestBench<'a> {
     pub fn with_trace(mut self, tracer: Tracer, window: u64) -> Self {
         self.trace_window = if tracer.enabled() { window.max(1) } else { 0 };
         self.tracer = tracer;
+        self
+    }
+
+    /// Attach a hot-loop self-profiler: each cycle's wall-time is split
+    /// across the `eval_early`/`overlay`/`eval_late`/`detect`/`clock`
+    /// phases (see [`obs::ProfilePhase`]). Share the same handle with
+    /// `CampaignHooks.profiler` so the runner's `patch`/`reset` phases
+    /// land in the same profile. A disabled profiler (the default)
+    /// leaves the step loop at one extra branch per cycle — and the
+    /// profiler never touches simulation state, so detections are
+    /// identical either way.
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
         self
     }
 
@@ -193,6 +211,67 @@ impl<'a> SelfTestBench<'a> {
         self.ovl_vals[idx] = (old & !m) | (wdata & m);
         self.ovl_gens[idx] = self.gen;
     }
+
+    /// The memory phase of one cycle: per-lane overlay access for the
+    /// address each lane drove, then transpose the read words back into
+    /// bit-sliced form on the `mem_rdata` port.
+    #[inline]
+    fn overlay_phase(&mut self, sim: &mut ParallelSim) {
+        let nl = self.core.netlist();
+        let addr_nets = nl.port("mem_addr");
+        let wdata_nets = nl.port("mem_wdata");
+        let we_net = nl.port("mem_we")[0];
+        let be_nets = nl.port("mem_be");
+        let we_lanes = sim.net_lanes(we_net);
+        for lane in 0..64 {
+            let addr = sim.lane_word(addr_nets, lane) as u32;
+            if (we_lanes >> lane) & 1 == 1 {
+                let wdata = sim.lane_word(wdata_nets, lane) as u32;
+                let be = sim.lane_word(be_nets, lane) as u8;
+                self.write(lane, addr, wdata, be);
+                // A store cycle still returns the (old) word on the bus.
+                self.rdata_scratch[lane] = self.read(lane, addr) as u64;
+            } else {
+                self.rdata_scratch[lane] = self.read(lane, addr) as u64;
+            }
+        }
+        fault::sim::transpose_lanes(&self.rdata_scratch, 32, &mut self.bits_scratch);
+        sim.set_port_bits(nl, "mem_rdata", &self.bits_scratch);
+    }
+
+    /// One cycle, untimed — the hot path when profiling is off.
+    #[inline]
+    fn step_plain(&mut self, sim: &mut ParallelSim) -> u64 {
+        sim.eval_segment(0);
+        self.overlay_phase(sim);
+        sim.eval_segment(1);
+        let diff = sim.diff_vs_lane0(self.core.observed_outputs());
+        sim.clock();
+        diff
+    }
+
+    /// One cycle with manual `Instant` checkpoints between phases (one
+    /// clock read per phase boundary, not a guard per phase).
+    fn step_timed(&mut self, sim: &mut ParallelSim) -> u64 {
+        let t0 = Instant::now();
+        sim.eval_segment(0);
+        let t1 = Instant::now();
+        self.overlay_phase(sim);
+        let t2 = Instant::now();
+        sim.eval_segment(1);
+        let t3 = Instant::now();
+        let diff = sim.diff_vs_lane0(self.core.observed_outputs());
+        let t4 = Instant::now();
+        sim.clock();
+        let t5 = Instant::now();
+        let p = &self.profiler;
+        p.add_ns(ProfilePhase::EvalEarly, (t1 - t0).as_nanos() as u64);
+        p.add_ns(ProfilePhase::Overlay, (t2 - t1).as_nanos() as u64);
+        p.add_ns(ProfilePhase::EvalLate, (t3 - t2).as_nanos() as u64);
+        p.add_ns(ProfilePhase::Detect, (t4 - t3).as_nanos() as u64);
+        p.add_ns(ProfilePhase::Clock, (t5 - t4).as_nanos() as u64);
+        diff
+    }
 }
 
 impl Testbench for SelfTestBench<'_> {
@@ -211,32 +290,13 @@ impl Testbench for SelfTestBench<'_> {
     }
 
     fn step(&mut self, sim: &mut ParallelSim, cycle: u64) -> u64 {
-        let nl = self.core.netlist();
-        sim.eval_segment(0);
-
-        let addr_nets = nl.port("mem_addr");
-        let wdata_nets = nl.port("mem_wdata");
-        let we_net = nl.port("mem_we")[0];
-        let be_nets = nl.port("mem_be");
-        let we_lanes = sim.net_lanes(we_net);
-        for lane in 0..64 {
-            let addr = sim.lane_word(addr_nets, lane) as u32;
-            if (we_lanes >> lane) & 1 == 1 {
-                let wdata = sim.lane_word(wdata_nets, lane) as u32;
-                let be = sim.lane_word(be_nets, lane) as u8;
-                self.write(lane, addr, wdata, be);
-                // A store cycle still returns the (old) word on the bus.
-                self.rdata_scratch[lane] = self.read(lane, addr) as u64;
-            } else {
-                self.rdata_scratch[lane] = self.read(lane, addr) as u64;
-            }
-        }
-
-        fault::sim::transpose_lanes(&self.rdata_scratch, 32, &mut self.bits_scratch);
-        sim.set_port_bits(nl, "mem_rdata", &self.bits_scratch);
-        sim.eval_segment(1);
-        let diff = sim.diff_vs_lane0(self.core.observed_outputs());
-        sim.clock();
+        // One branch per cycle: the timed variant differs only in the
+        // Instant checkpoints between phases, never in what it computes.
+        let diff = if self.profiler.enabled() {
+            self.step_timed(sim)
+        } else {
+            self.step_plain(sim)
+        };
         if self.trace_window != 0 {
             self.win_diff |= diff;
             if (cycle + 1) % self.trace_window == 0 {

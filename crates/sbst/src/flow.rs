@@ -9,7 +9,7 @@ use fault::coverage::{CoverageReport, CoverageTimeline};
 use fault::model::FaultList;
 use fault::sim::ParallelSim;
 use mips::iss::{Iss, Memory};
-use obs::{Progress, Tracer};
+use obs::{MetricRegistry, Profiler, Progress, Tracer};
 use plasma::testbench::SelfTestBench;
 use plasma::PlasmaCore;
 
@@ -47,6 +47,13 @@ pub struct FlowOptions {
     /// Coverage-over-time sample stride in cycles; `0` disables the
     /// timeline (the default).
     pub timeline_stride: u64,
+    /// Enable the hot-loop self-profiler (`--profile`): phase wall-times
+    /// land in `CampaignStats::profile`. Off by default — the timed step
+    /// variant reads the clock six times per cycle.
+    pub profile: bool,
+    /// Publish campaign counters, per-component gate-eval counts, and
+    /// coverage gauges into this registry (`--metrics-out`/`--serve`).
+    pub metrics: Option<MetricRegistry>,
 }
 
 impl Default for FlowOptions {
@@ -60,6 +67,8 @@ impl Default for FlowOptions {
             progress: false,
             trace_path: None,
             timeline_stride: 0,
+            profile: false,
+            metrics: None,
         }
     }
 }
@@ -81,7 +90,50 @@ impl FlowOptions {
         CampaignHooks {
             tracer,
             progress: self.progress.then(|| Progress::new(label, total_batches)),
+            profiler: if self.profile {
+                Profiler::new()
+            } else {
+                Profiler::disabled()
+            },
+            metrics: self.metrics.clone(),
         }
+    }
+}
+
+/// Publish the flow-level metrics a finished campaign implies: static
+/// per-component gate-eval attribution (every simulated cycle evaluates
+/// every gate once, across all 64 lanes) and coverage gauges.
+fn publish_flow_metrics(
+    registry: &MetricRegistry,
+    core: &PlasmaCore,
+    campaign: &CampaignResult,
+    coverage: &CoverageReport,
+) {
+    let cycles = campaign.stats.cycles_simulated;
+    for s in core.netlist().component_stats() {
+        registry
+            .counter(
+                "sbst_gate_evals_total",
+                "gate evaluations attributed to a component (gates x simulated cycles, 64 lanes each)",
+                &[("component", s.name.as_str())],
+            )
+            .inc(s.gates as u64 * cycles);
+    }
+    registry
+        .gauge(
+            "sbst_coverage_pct",
+            "weighted fault coverage of the last flow run, percent",
+            &[],
+        )
+        .set(coverage.overall_pct);
+    for c in &coverage.components {
+        registry
+            .gauge(
+                "sbst_component_coverage_pct",
+                "weighted fault coverage per component, percent",
+                &[("component", c.name.as_str())],
+            )
+            .set(c.coverage_pct);
     }
 }
 
@@ -170,7 +222,13 @@ pub fn run_campaign_of_hooks(
 ) -> CampaignResult {
     let [early, late] = core.segments();
     let sim = ParallelSim::with_segments(core.netlist(), &[early.to_vec(), late.to_vec()]);
-    let factory = || SelfTestBench::new(core, program, MEM_BYTES, budget);
+    // Each worker's bench shares the hooks' profiler handle, so the
+    // per-cycle phases land in the same profile as the runner's
+    // patch/reset (a disabled handle keeps the plain step path).
+    let factory = || {
+        SelfTestBench::new(core, program, MEM_BYTES, budget)
+            .with_profiler(hooks.profiler.clone())
+    };
     campaign::run_parallel_with(&sim, faults, &factory, threads, hooks)
 }
 
@@ -222,6 +280,9 @@ pub fn run_flow(core: &PlasmaCore, phase: Phase, opts: &FlowOptions) -> FlowRepo
         &hooks,
     );
     let coverage = CoverageReport::from_campaign(core.netlist(), &campaign);
+    if let Some(reg) = &opts.metrics {
+        publish_flow_metrics(reg, core, &campaign, &coverage);
+    }
     let cost = opts.cost_model.cost(selftest.size_words(), golden);
     let trace = GoldenTrace::record(&selftest.program, MEM_BYTES, golden);
     let map = RoutineMap::of_selftest(&selftest);
@@ -254,9 +315,21 @@ mod tests {
         let opts = FlowOptions {
             fault_sample: Some(700),
             timeline_stride: 500,
+            profile: true,
+            metrics: Some(MetricRegistry::new()),
             ..Default::default()
         };
         let report = run_flow(&core, Phase::A, &opts);
+        // The profiler attributed time to the per-cycle phases...
+        let profile = &report.campaign.stats.profile;
+        assert!(!profile.is_empty(), "profile empty despite profile: true");
+        assert!(profile.count(obs::ProfilePhase::Overlay) > 0);
+        assert!(profile.count(obs::ProfilePhase::EvalEarly) > 0);
+        // ...and the registry carries campaign + flow metrics.
+        let text = opts.metrics.as_ref().unwrap().to_prometheus();
+        assert!(text.contains("sbst_batches_total"), "{text}");
+        assert!(text.contains("sbst_gate_evals_total{component="), "{text}");
+        assert!(text.contains("sbst_coverage_pct"), "{text}");
         assert!(report.golden_cycles > 1000);
         assert!(
             report.coverage.overall_pct > 75.0,
