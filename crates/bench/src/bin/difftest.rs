@@ -8,11 +8,21 @@
 //! difftest --no-feedback              # disable coverage-feedback scheduling
 //! difftest --inject                   # demo: inject a netlist fault, localize,
 //!                                     #   shrink, persist into the corpus
+//! difftest --inject --wave            # also dump a differential VCD of the
+//!                                     #   injected fault -> results/WAVE_difftest_*
 //! difftest --replay                   # replay every corpus case, fail on change
 //! difftest --parwan                   # also lockstep-fuzz the Parwan pair
 //! difftest --corpus DIR               # corpus directory (default tests/corpus)
 //! difftest --trace FILE --progress    # JSONL events / live seed ticker
+//! difftest --sched-wave N             # feedback scheduling wave size
 //! ```
+//!
+//! `--wave` attaches a wave probe to the lockstep oracle: the injected-fault
+//! demo re-runs its chosen fault and writes a good/faulty/diff VCD, and the
+//! first divergent fuzz seed (if any) gets a VCD of its divergence window.
+//! `--wave-pre` / `--wave-post` size the capture window around the trigger;
+//! `--wave-probe` (comma-separated component names or port globs,
+//! repeatable) selects what is sampled — default every port + all state.
 //!
 //! Every invocation appends one run record to `results/LEDGER.jsonl`
 //! (`--ledger FILE` overrides, `--no-ledger` disables); `bench --bin
@@ -103,6 +113,8 @@ fn main() -> ExitCode {
     let mut corpus_dir = PathBuf::from("tests/corpus");
     let mut inject = false;
     let mut replay = false;
+    let mut wave_dump = false;
+    let mut wave = fault::wave::WaveOptions::default();
     let mut parwan_too = false;
     let mut progress = false;
     let mut trace_path: Option<PathBuf> = None;
@@ -138,11 +150,28 @@ fn main() -> ExitCode {
                     .and_then(|s| s.parse().ok())
                     .expect("--seed-start needs a number");
             }
-            "--wave" => {
+            "--sched-wave" => {
                 cfg.wave = it
                     .next()
                     .and_then(|s| s.parse().ok())
-                    .expect("--wave needs a number");
+                    .expect("--sched-wave needs a number");
+            }
+            "--wave" => wave_dump = true,
+            "--wave-pre" => {
+                wave.pre = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--wave-pre needs a cycle count");
+            }
+            "--wave-post" => {
+                wave.post = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--wave-post needs a cycle count");
+            }
+            "--wave-probe" => {
+                let spec = it.next().expect("--wave-probe needs component/port specs");
+                wave.probe.extend(spec.split(',').map(|s| s.trim().to_string()));
             }
             "--max-cycles" => {
                 cfg.oracle.max_cycles = it
@@ -277,11 +306,32 @@ fn main() -> ExitCode {
             Ok(p) => println!("reproducer persisted to {}", p.display()),
             Err(e) => eprintln!("could not persist reproducer: {e}"),
         }
+        if wave_dump {
+            // ISS-vs-netlist divergence: lane 0 is the divergent machine, so
+            // the faulty/diff scopes stay flat — the trigger still marks the
+            // divergence cycle and the window shows the surrounding state.
+            dump_oracle_wave(
+                &core,
+                &mut oracle,
+                &parts.to_program(),
+                &[],
+                0,
+                &wave,
+                &format!("seed{seed}"),
+                &format!("difftest ISS/netlist divergence, seed {seed}"),
+            );
+        }
     }
 
     if inject {
         println!("\ninjected-fault demo:");
-        if !run_injection_demo(&core, &cfg, &corpus_dir, metrics.as_ref()) {
+        if !run_injection_demo(
+            &core,
+            &cfg,
+            &corpus_dir,
+            metrics.as_ref(),
+            wave_dump.then_some(&wave),
+        ) {
             status = ExitCode::from(1);
         }
     }
@@ -344,6 +394,37 @@ fn main() -> ExitCode {
     status
 }
 
+/// Re-run `program` under the lockstep oracle with a wave probe attached
+/// and write the captured window as a differential good/faulty/diff VCD
+/// under `results/`. Probe errors are reported, never fatal.
+fn dump_oracle_wave(
+    core: &PlasmaCore,
+    oracle: &mut PlasmaOracle,
+    program: &mips::Program,
+    injections: &[(Fault, usize)],
+    faulty_lane: usize,
+    wave: &fault::wave::WaveOptions,
+    desc: &str,
+    comment: &str,
+) {
+    let probe = match netlist::wave::Probe::from_spec(core.netlist(), &wave.probe) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("  wave probe error: {e}");
+            return;
+        }
+    };
+    let mut cap = fault::wave::WaveCapture::new(probe, wave);
+    oracle.run_wave(program, injections, &mut cap, faulty_lane);
+    let captured = cap.finish();
+    let path = std::path::Path::new("results")
+        .join(fault::wave::wave_file_name("difftest", desc));
+    match captured.write_file(&path, comment) {
+        Ok(()) => println!("  wave written to {}", path.display()),
+        Err(e) => eprintln!("  could not write wave: {e}"),
+    }
+}
+
 /// Inject the first detectable collapsed fault into lane 1, localize it,
 /// shrink the program, persist the reproducer, and verify the replay.
 fn run_injection_demo(
@@ -351,6 +432,7 @@ fn run_injection_demo(
     cfg: &FuzzConfig,
     corpus_dir: &std::path::Path,
     metrics: Option<&MetricRegistry>,
+    wave: Option<&fault::wave::WaveOptions>,
 ) -> bool {
     let mut oracle = PlasmaOracle::new(core, cfg.oracle.clone());
     let gcfg = GenConfig {
@@ -381,6 +463,21 @@ fn run_injection_demo(
         "  fault `{}` detected, first divergent cycle {cycle}",
         fault.describe()
     );
+    if let Some(w) = wave {
+        dump_oracle_wave(
+            core,
+            &mut oracle,
+            &program,
+            &[(fault, 1)],
+            1,
+            w,
+            &fault.describe(),
+            &format!(
+                "difftest injected fault `{}`; first divergent cycle {cycle}",
+                fault.describe()
+            ),
+        );
+    }
     let shrunk = shrink(&mut oracle, &parts, &[(fault, 1)]);
     count_shrink_steps(metrics, shrunk.runs);
     let min_cycle = shrunk.report.first_faulty_divergence().map(|(_, c)| c);

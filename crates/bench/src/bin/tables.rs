@@ -14,11 +14,24 @@
 //!                              #      + results/TRACE_report.jsonl
 //! tables --escapes             # undetected faults + SCOAP testability
 //!                              #   -> results/ESCAPES.txt
+//! tables --wave-fault "n42 sa1"  # differential VCD for one fault
+//!                              #   -> results/WAVE_fault_*.vcd
+//! tables --wave-escapes 2      # campaign, then VCDs of the first two
+//!                              #   escapes -> results/WAVE_escape_*.vcd
 //! ```
 //!
 //! `--progress` adds a live batch ticker on stderr; `--trace FILE`
 //! writes structured campaign events as JSONL; `--stride N` sets the
 //! coverage-over-time sample stride of `--report` (default 500 cycles).
+//!
+//! Waveform dumps: `--wave-fault <id>` (a `Fault::describe` string such
+//! as `"n42 sa1"` / `"g17/pin0 sa0"` from ESCAPES.txt, or a decimal
+//! index) replays that fault with a wave probe attached; `--wave-escapes
+//! <k>` captures the first k escapes of the campaign. `--wave-pre` /
+//! `--wave-post` size the window around the detection trigger,
+//! `--wave-depth` the horizon window for escapes, and `--wave-probe`
+//! (comma-separated component names or port globs, repeatable) selects
+//! what is sampled — default is every port plus all component state.
 //!
 //! Every invocation appends one schema-versioned run record to the run
 //! ledger (`results/LEDGER.jsonl`; `--ledger FILE` overrides, and
@@ -99,6 +112,7 @@ fn main() {
     let mut report = false;
     let mut escapes = false;
     let mut stride = 500u64;
+    let mut wave = fault::wave::WaveOptions::default();
     let mut out = ObsOut {
         cmd: args.join(" "),
         ledger_path: "results/LEDGER.jsonl".into(),
@@ -147,6 +161,37 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--stride needs a cycle count");
             }
+            "--wave-fault" => {
+                wave.fault = Some(it.next().expect("--wave-fault needs a fault id").clone());
+            }
+            "--wave-escapes" => {
+                wave.escapes = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--wave-escapes needs a count");
+            }
+            "--wave-pre" => {
+                wave.pre = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--wave-pre needs a cycle count");
+            }
+            "--wave-post" => {
+                wave.post = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--wave-post needs a cycle count");
+            }
+            "--wave-depth" => {
+                wave.depth = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--wave-depth needs a cycle count");
+            }
+            "--wave-probe" => {
+                let spec = it.next().expect("--wave-probe needs component/port specs");
+                wave.probe.extend(spec.split(',').map(|s| s.trim().to_string()));
+            }
             "--json" => json_out = Some(it.next().expect("--json needs a path").clone()),
             "--ledger" => {
                 out.ledger_path = it.next().expect("--ledger needs a path").into();
@@ -169,7 +214,8 @@ fn main() {
                     "usage: tables [--all | --table <id>] [--full | --sample N] [--seed N] \
                      [--threads N] [--stats | --report | --escapes] [--progress] [--profile] \
                      [--trace file] [--stride N] [--json file] [--ledger file] [--no-ledger] \
-                     [--metrics-out file] [--serve port]"
+                     [--metrics-out file] [--serve port] [--wave-fault id] [--wave-escapes k] \
+                     [--wave-pre N] [--wave-post N] [--wave-depth N] [--wave-probe specs]"
                 );
                 std::process::exit(2);
             }
@@ -177,6 +223,22 @@ fn main() {
     }
     if out.metrics_out.is_some() || out.serve_port.is_some() {
         opts.metrics = Some(MetricRegistry::new());
+    }
+
+    if wave.fault.is_some() || wave.escapes > 0 {
+        std::fs::create_dir_all(&wave.out_dir).expect("create wave output dir");
+        match bench::wave_report(&opts, &wave) {
+            Ok(e) => {
+                println!("==== {} — {} ====", e.id, e.title);
+                println!("{}", e.text);
+                finish(&opts, &out, e.ledger);
+            }
+            Err(msg) => {
+                eprintln!("wave error: {msg}");
+                std::process::exit(2);
+            }
+        }
+        return;
     }
 
     if stats {

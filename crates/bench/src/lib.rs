@@ -1221,6 +1221,85 @@ pub fn escapes_report(opts: &RunOptions) -> Experiment {
     exp
 }
 
+/// Differential waveform dumps (`--wave-fault` / `--wave-escapes`):
+/// replay the selected fault(s) of the Phase B self-test with lane 0
+/// fault-free and lane 1 faulty, and write `good`/`faulty`/`diff` VCDs
+/// under the wave output directory.
+///
+/// A named `--wave-fault` alone replays directly (no campaign); asking
+/// for escapes runs the sampled Phase B campaign first to learn which
+/// faults escaped (and then also captures the named fault, if any,
+/// through the same flow). Errors (unknown fault id, bad probe spec)
+/// come back as `Err` for the CLI to report.
+pub fn wave_report(opts: &RunOptions, wave: &fault::wave::WaveOptions) -> Result<Experiment, String> {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let mut ledger = None;
+
+    let artifacts = if wave.escapes > 0 {
+        let mut fo = opts.flow_options();
+        fo.wave = Some(wave.clone());
+        let r = flow::run_flow(&core, Phase::B, &fo);
+        if r.waves.is_empty() {
+            return Err("campaign produced no wave dumps (no escapes and no matching fault?)".into());
+        }
+        ledger = Some(campaign_ledger_record(
+            "tables-wave",
+            &core,
+            &r.campaign,
+            Some(r.coverage.overall_pct),
+        ));
+        r.waves
+    } else {
+        let id = wave
+            .fault
+            .as_deref()
+            .ok_or("wave mode needs --wave-fault <id> or --wave-escapes <k>")?;
+        let selftest =
+            sbst::phases::build_program(Phase::B).expect("phase program must assemble");
+        let golden = flow::golden_cycles(&selftest);
+        // Resolve against the complete collapsed list, so any fault id
+        // from ESCAPES.txt (sampled or not) can be replayed.
+        let faults = FaultList::extract(core.netlist()).collapsed(core.netlist());
+        let i = fault::wave::find_fault(&faults, id)
+            .ok_or_else(|| format!("fault `{id}` not found in the collapsed fault list"))?;
+        let a = flow::write_fault_wave(
+            &core,
+            &selftest.program,
+            golden + 64,
+            faults.faults[i],
+            wave,
+            "fault",
+        )?;
+        vec![a]
+    };
+
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    for a in &artifacts {
+        let verdict = match a.detected_at {
+            Some(t) => format!("detected at cycle {t}"),
+            None => "escaped (horizon window)".to_string(),
+        };
+        text.push_str(&format!("{:<16} {} -> {}\n", a.fault, verdict, a.path.display()));
+        rows.push(serde_json::json!({
+            "fault": a.fault.as_str(),
+            // -1 encodes "escaped": the shim's json! lacks Option support.
+            "detected_at": a.detected_at.map_or(-1i64, |t| t as i64),
+            "path": a.path.display().to_string(),
+        }));
+        eprintln!("[wave written to {}]", a.path.display());
+    }
+    text.push_str("\nopen in GTKWave; the `diff` scope XORs good vs faulty per net.\n");
+    let mut exp = experiment(
+        "wave",
+        "Differential good/faulty waveform dumps",
+        text,
+        serde_json::Value::Array(rows),
+    );
+    exp.ledger = ledger;
+    Ok(exp)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

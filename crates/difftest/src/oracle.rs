@@ -11,6 +11,7 @@
 
 use fault::model::Fault;
 use fault::sim::{transpose_lanes, ParallelSim};
+use fault::wave::WaveCapture;
 use mips::disasm::disassemble;
 use mips::gen::{END_MAILBOX, END_MARKER};
 use mips::isa::Reg;
@@ -282,6 +283,35 @@ impl<'a> PlasmaOracle<'a> {
     /// (lane 0 faults the reference itself — useful to demonstrate the
     /// divergence report; lanes 1–63 are graded against lane 0).
     pub fn run(&mut self, program: &Program, faults: &[(Fault, usize)]) -> LockstepReport {
+        self.run_inner(program, faults, None)
+    }
+
+    /// [`PlasmaOracle::run`] with a waveform capture attached: every
+    /// cycle (post-clock) lanes 0 and `faulty_lane` are sampled into
+    /// `cap`, and the capture triggers on the first divergence — ISS vs
+    /// lane 0, or any faulty lane vs lane 0. Unlike `run`, an ISS
+    /// divergence does not stop the gate simulation immediately: it
+    /// drains `cap`'s post-trigger window first (so `cycles` in the
+    /// report includes those drain cycles). For a fault-free run pass
+    /// `faulty_lane = 0`; the `faulty` and `diff` scopes are then flat
+    /// and the `good` scope shows the gate machine around the
+    /// divergence.
+    pub fn run_wave(
+        &mut self,
+        program: &Program,
+        faults: &[(Fault, usize)],
+        cap: &mut WaveCapture,
+        faulty_lane: usize,
+    ) -> LockstepReport {
+        self.run_inner(program, faults, Some((cap, faulty_lane)))
+    }
+
+    fn run_inner(
+        &mut self,
+        program: &Program,
+        faults: &[(Fault, usize)],
+        mut wave: Option<(&mut WaveCapture, usize)>,
+    ) -> LockstepReport {
         self.runs += 1;
         self.base.fill(0);
         for (k, &w) in program.words.iter().enumerate() {
@@ -364,26 +394,49 @@ impl<'a> PlasmaOracle<'a> {
                 d &= d - 1;
             }
 
-            let pc = iss.pc();
-            trace.pcs.push(pc);
-            trace.instrs.push(iss_mem.read_word(pc));
-            let want = iss.cycle(&mut iss_mem);
+            // The ISS only runs while the reference still tracks it; a
+            // wave-attached run keeps simulating the gate machine after
+            // an ISS divergence to fill the post-trigger window.
+            let mut diverged_now = false;
+            if divergence.is_none() {
+                let pc = iss.pc();
+                trace.pcs.push(pc);
+                trace.instrs.push(iss_mem.read_word(pc));
+                let want = iss.cycle(&mut iss_mem);
 
-            if (gate.addr, gate.wdata, gate.we, gate.be)
-                != (want.addr, want.wdata, want.we, want.be)
-            {
-                divergence = Some(self.capture(&iss, &iss_mem, cycle, pc, want, gate));
-                cycle += 1;
-                break;
+                if (gate.addr, gate.wdata, gate.we, gate.be)
+                    != (want.addr, want.wdata, want.we, want.be)
+                {
+                    divergence = Some(self.capture(&iss, &iss_mem, cycle, pc, want, gate));
+                    diverged_now = true;
+                } else if golden_cycles.is_none()
+                    && want.we
+                    && want.be == 0b1111
+                    && want.addr == END_MAILBOX
+                    && want.wdata == END_MARKER
+                {
+                    golden_cycles = Some(cycle + 1);
+                    stop_at = (cycle + 1 + self.cfg.drain_cycles).min(self.cfg.max_cycles);
+                }
             }
-            if golden_cycles.is_none()
-                && want.we
-                && want.be == 0b1111
-                && want.addr == END_MAILBOX
-                && want.wdata == END_MARKER
-            {
-                golden_cycles = Some(cycle + 1);
-                stop_at = (cycle + 1 + self.cfg.drain_cycles).min(self.cfg.max_cycles);
+
+            match &mut wave {
+                Some((cap, faulty_lane)) => {
+                    cap.record(&self.sim, cycle, *faulty_lane);
+                    if diverged_now || diff & !1 != 0 {
+                        cap.mark_trigger(cycle);
+                    }
+                    if cap.done(cycle) {
+                        cycle += 1;
+                        break;
+                    }
+                }
+                None => {
+                    if diverged_now {
+                        cycle += 1;
+                        break;
+                    }
+                }
             }
             cycle += 1;
         }

@@ -210,3 +210,52 @@ fn parwan_pair_runs_lockstep_and_detects_faults() {
     let report = oracle.run(&img, &[(fault, 5)], 600);
     assert!(report.lane_first_div[5].is_some(), "fault must be detected in lane 5");
 }
+
+/// The oracle's wave path: a fault-free `run_wave` must agree with
+/// `run`, and an injected-fault capture must trigger exactly at the
+/// lane's first divergence with visible corruption in the diff rows —
+/// all byte-deterministically.
+#[test]
+fn oracle_wave_capture_matches_divergence_localization() {
+    let mut oracle = PlasmaOracle::new(core(), OracleConfig::default());
+    let parts = random_parts(4242, &small_gen());
+    let program = parts.to_program();
+
+    // Fault-free: attaching a recorder must not change the verdict.
+    let plain = oracle.run(&program, &[]);
+    assert!(plain.clean(), "{:?}", plain.divergence);
+    let probe = netlist::wave::Probe::from_spec(core().netlist(), &["mem_*".to_string()]).unwrap();
+    let wopts = fault::wave::WaveOptions::default();
+    let mut cap = fault::wave::WaveCapture::new(probe.clone(), &wopts);
+    let recorded = oracle.run_wave(&program, &[], &mut cap, 0);
+    assert_eq!(recorded.golden_cycles, plain.golden_cycles);
+    assert!(recorded.clean());
+    let wave = cap.finish();
+    assert_eq!(wave.trigger, None, "clean run must not trigger");
+    assert!(wave.corrupt_cycles().is_empty(), "faulty_lane 0 diffs against itself");
+
+    // Injected fault: trigger == first faulty divergence, corruption visible.
+    let fault = find_detected_fault(&mut oracle, &parts);
+    let faulty = oracle.run(&program, &[(fault, 1)]);
+    let (lane, cycle) = faulty.first_faulty_divergence().expect("fault must be detected");
+    assert_eq!(lane, 1);
+
+    let render = |oracle: &mut PlasmaOracle| {
+        let mut cap = fault::wave::WaveCapture::new(probe.clone(), &wopts);
+        let rep = oracle.run_wave(&program, &[(fault, 1)], &mut cap, 1);
+        assert_eq!(rep.lane_first_div[1], Some(cycle), "wave run relocated the detection");
+        let wave = cap.finish();
+        assert_eq!(wave.trigger, Some(cycle));
+        assert!(!wave.corrupt_cycles().is_empty(), "no corruption in diff rows");
+        let mut buf = Vec::new();
+        wave.write_vcd(&mut buf, &fault.describe()).unwrap();
+        buf
+    };
+    let a = render(&mut oracle);
+    let b = render(&mut oracle);
+    assert_eq!(a, b, "oracle wave capture is not byte-deterministic");
+    let text = String::from_utf8(a).unwrap();
+    for scope in ["good", "faulty", "diff"] {
+        assert!(text.contains(&format!("$scope module {scope} $end")), "missing {scope} scope");
+    }
+}

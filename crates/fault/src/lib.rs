@@ -55,5 +55,6 @@ pub mod dictionary;
 pub mod model;
 pub mod scoap;
 pub mod sim;
+pub mod wave;
 
 pub use model::{Fault, FaultList, FaultSite, Polarity};

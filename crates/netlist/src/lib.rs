@@ -53,6 +53,7 @@ pub mod sim;
 pub mod stats;
 pub mod synth;
 pub mod verilog;
+pub mod wave;
 
 pub use builder::{NetlistBuilder, Word};
 pub use gate::{Gate, GateKind, NO_NET};

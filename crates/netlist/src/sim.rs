@@ -95,11 +95,19 @@ impl Simulator {
         v
     }
 
-    /// Read an arbitrary bus of nets as an integer.
+    /// Read an arbitrary bus of nets as an integer (LSB first).
+    ///
+    /// At most 64 nets fit in the return value. Wider buses are a caller
+    /// bug: bits past the 64th would be shifted out silently in release
+    /// builds, so this is a `debug_assert` (matching the checked
+    /// [`Simulator::output_word`] path) rather than a hot-loop branch —
+    /// `word` sits inside the per-cycle bus-read path of both CPU
+    /// testbenches.
     pub fn word(&self, nets: &[Net]) -> u64 {
+        debug_assert!(nets.len() <= 64, "bus of {} nets wider than 64 bits", nets.len());
         let mut v = 0u64;
         for (i, &net) in nets.iter().enumerate() {
-            v |= (self.values[net.index()] as u64) << i;
+            v |= (self.values[net.index()] as u64) << (i & 63);
         }
         v
     }
@@ -200,6 +208,34 @@ mod tests {
         let sim = Simulator::new(&nl);
         assert!(!sim.net(nl.port("q0")[0]));
         assert!(sim.net(nl.port("q1")[0]));
+    }
+
+    /// Regression for the silent >64-bit truncation: `word` and
+    /// `output_word` must reject buses wider than a u64 instead of
+    /// dropping the high bits.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "wider than 64 bits"))]
+    fn word_rejects_buses_wider_than_64_bits() {
+        let mut b = NetlistBuilder::new("wide");
+        let a = b.inputs("a", 65);
+        b.outputs("y", &a);
+        let nl = b.finish().unwrap();
+        let sim = Simulator::new(&nl);
+        let v = sim.word(nl.port("y"));
+        // Release builds skip the debug_assert; the masked shift keeps the
+        // result well-defined (bit 64 folds onto bit 0) rather than UB.
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than 64 bits")]
+    fn output_word_rejects_ports_wider_than_64_bits() {
+        let mut b = NetlistBuilder::new("wide");
+        let a = b.inputs("a", 70);
+        b.outputs("y", &a);
+        let nl = b.finish().unwrap();
+        let sim = Simulator::new(&nl);
+        let _ = sim.output_word(&nl, "y");
     }
 
     #[test]

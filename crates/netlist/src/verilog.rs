@@ -131,6 +131,54 @@ mod tests {
         assert!(v.ends_with("endmodule\n"));
     }
 
+    /// Every port of the netlist must round-trip into the exported
+    /// module header with its name (sanitized) and exact width, in both
+    /// directions — wave probes and external HDL tools key off these
+    /// names, so dropping or renaming a port would silently desynchronize
+    /// them.
+    #[test]
+    fn port_names_round_trip_through_export() {
+        let mut b = NetlistBuilder::new("ports");
+        let addr = b.inputs("mem_addr", 12);
+        let we = b.input("mem_we");
+        let odd = b.inputs("odd-name.2", 3);
+        let na = b.not_word(&addr);
+        b.outputs("data_out", &na);
+        let x = b.xor2(we, odd[0]);
+        b.output("flag", x);
+        let _ = (odd, x);
+        let nl = b.finish().unwrap();
+        let v = to_verilog(&nl);
+
+        for (name, dir, nets) in nl.ports() {
+            let dir_s = match dir {
+                PortDir::Input => "input  wire",
+                PortDir::Output => "output wire",
+            };
+            let range = if nets.len() > 1 {
+                format!("[{}:0] ", nets.len() - 1)
+            } else {
+                String::new()
+            };
+            let decl = format!("{dir_s} {range}{}", sanitize(name));
+            assert!(v.contains(&decl), "port `{name}` missing as `{decl}` in:\n{v}");
+        }
+        // Sanitization is lossless enough to stay unique here.
+        assert!(v.contains("odd_name_2"), "sanitized port name absent");
+        // Each port bit is wired to its own net on the correct side.
+        for (name, dir, nets) in nl.ports() {
+            let pname = sanitize(name);
+            for (i, &net) in nets.iter().enumerate() {
+                let bit = if nets.len() > 1 { format!("{pname}[{i}]") } else { pname.clone() };
+                let wire = match dir {
+                    PortDir::Input => format!("assign n[{}] = {bit};", net.index()),
+                    PortDir::Output => format!("assign {bit} = n[{}];", net.index()),
+                };
+                assert!(v.contains(&wire), "missing port wiring `{wire}`");
+            }
+        }
+    }
+
     #[test]
     fn plasma_scale_export_is_wellformed() {
         // The whole point: export something big without panicking and

@@ -26,6 +26,9 @@
 //! * [`progress::Progress`] — shared atomic counters plus a rate-limited
 //!   stderr ticker, for watching long campaigns without touching their
 //!   hot loops.
+//! * [`wave`] — a byte-deterministic VCD (IEEE 1364 §18) writer with
+//!   hierarchical scopes, vector vars, and change-only emission; the
+//!   serialization layer under the netlist-level probe/recorder stack.
 //!
 //! The `fault::campaign` runners accept these via `CampaignHooks`; the
 //! `tables` and `difftest` binaries wire them to `--progress`,
@@ -40,6 +43,7 @@ pub mod progress;
 pub mod registry;
 pub mod serve;
 pub mod trace;
+pub mod wave;
 
 pub use ledger::LedgerRecord;
 pub use metrics::LatencyHistogram;
@@ -47,3 +51,4 @@ pub use profile::{PhaseProfile, ProfilePhase, Profiler};
 pub use progress::Progress;
 pub use registry::{Counter, Gauge, Histogram, MetricRegistry};
 pub use trace::{Span, Tracer};
+pub use wave::{VcdSpec, VcdVar, VcdWriter};

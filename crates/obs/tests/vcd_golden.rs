@@ -1,0 +1,42 @@
+//! Golden-file test of the VCD writer: header shape (scopes, var
+//! declarations, identifier codes), the initial `$dumpvars` block, and
+//! change-only emission for both scalar and vector vars are all pinned
+//! byte-for-byte. GTKWave and every other VCD consumer parse this
+//! format, so its exact shape matters — and the differential-dump
+//! determinism guarantee ("same fault, byte-identical VCD at any thread
+//! count") only means something if the writer itself is deterministic.
+
+use obs::wave::{render_vcd, VcdSpec};
+
+fn build_spec() -> VcdSpec {
+    let mut spec = VcdSpec::new();
+    spec.var(&["dut", "bus"], "addr", 8);
+    spec.var(&["dut", "bus"], "we", 1);
+    spec.var(&["dut", "ctrl"], "ff0", 1);
+    spec.var(&["diff", "bus"], "addr", 8);
+    spec
+}
+
+#[test]
+fn vcd_output_matches_golden_file() {
+    let rows = vec![
+        (0, vec![0x00, 0, 0, 0x00]),
+        (1, vec![0xA5, 1, 0, 0xA5]),
+        (2, vec![0xA5, 1, 0, 0xA5]), // no change: timestamp suppressed
+        (3, vec![0xA5, 1, 1, 0xA5]), // scalar-only change
+    ];
+    let text = String::from_utf8(render_vcd(&build_spec(), "golden", &rows)).unwrap();
+    let golden = include_str!("golden/wave.vcd");
+    assert_eq!(
+        text, golden,
+        "VCD output drifted from tests/golden/wave.vcd;\nactual:\n{text}"
+    );
+}
+
+#[test]
+fn vcd_output_is_deterministic_across_renders() {
+    let rows = vec![(0, vec![1, 0, 1, 7]), (5, vec![2, 1, 1, 7])];
+    let a = render_vcd(&build_spec(), "repeat", &rows);
+    let b = render_vcd(&build_spec(), "repeat", &rows);
+    assert_eq!(a, b, "two renders of the same data differ");
+}

@@ -284,6 +284,27 @@ pub fn grade(core: &ParwanCore, test: &ParwanSelfTest, faults: &FaultList) -> Ca
     grade_threads(core, test, faults, 0)
 }
 
+/// Replay one fault of a Parwan self-test with waveform capture: lane 0
+/// is the fault-free core, lane 1 the faulty one, through the same
+/// [`ParwanSelfTestBench`] [`grade_threads`] uses, so the verdict (and
+/// detection cycle) matches the campaign bit for bit. Probe specs follow
+/// [`netlist::wave::Probe::from_spec`] (component names or port globs;
+/// empty = full probe).
+pub fn capture_fault_wave(
+    core: &ParwanCore,
+    test: &ParwanSelfTest,
+    f: fault::Fault,
+    opts: &fault::wave::WaveOptions,
+) -> Result<fault::wave::CapturedWave, String> {
+    let probe = netlist::wave::Probe::from_spec(core.netlist(), &opts.probe)?;
+    let budget = golden_cycles(test) + 32;
+    let [early, late] = core.segments();
+    let mut sim =
+        ParallelSim::with_segments(core.netlist(), &[early.to_vec(), late.to_vec()]);
+    let mut tb = ParwanSelfTestBench::new(core, &test.image, budget);
+    Ok(fault::wave::capture_fault(&mut sim, &mut tb, probe, f, opts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +327,65 @@ mod tests {
             cycles > 2 * det,
             "pseudorandom should cost much more: {cycles} vs {det}"
         );
+    }
+
+    /// End-to-end waveform path on a real (small) CPU: the captured
+    /// trigger must equal the campaign's detection cycle, the diff scope
+    /// must actually show corruption, and the VCD must be
+    /// byte-deterministic across captures.
+    #[test]
+    fn fault_wave_capture_matches_campaign_detection() {
+        let core = ParwanCore::build();
+        let faults = FaultList::extract(core.netlist()).collapsed(core.netlist());
+        let test = deterministic_selftest();
+        // Grade just the first batch to find a detected fault cheaply.
+        let head = FaultList {
+            faults: faults.faults[..63].to_vec(),
+            component: faults.component[..63].to_vec(),
+            weight: faults.weight[..63].to_vec(),
+            total_uncollapsed: 63,
+        };
+        let res = grade(&core, &test, &head);
+        let (idx, det_cycle) = res
+            .detections
+            .iter()
+            .enumerate()
+            .find_map(|(i, d)| match d {
+                fault::campaign::Detection::DetectedAt(c) => Some((i, *c)),
+                _ => None,
+            })
+            .expect("first batch should detect something");
+        let f = head.faults[idx];
+
+        let opts = fault::wave::WaveOptions::default();
+        let wave = capture_fault_wave(&core, &test, f, &opts).unwrap();
+        assert_eq!(wave.trigger, Some(det_cycle), "wave trigger != campaign detection");
+        let corrupt = wave.corrupt_cycles();
+        assert!(!corrupt.is_empty(), "no corruption in diff scope");
+        assert!(*corrupt.first().unwrap() <= det_cycle);
+
+        let render = |w: &fault::wave::CapturedWave| {
+            let mut buf = Vec::new();
+            w.write_vcd(&mut buf, &f.describe()).unwrap();
+            buf
+        };
+        let again = capture_fault_wave(&core, &test, f, &opts).unwrap();
+        assert_eq!(render(&wave), render(&again), "capture is not deterministic");
+
+        // Probe selection by port glob narrows the var set.
+        let narrow = fault::wave::WaveOptions {
+            probe: vec!["mem_*".into()],
+            ..fault::wave::WaveOptions::default()
+        };
+        let w2 = capture_fault_wave(&core, &test, f, &narrow).unwrap();
+        assert!(w2.probe.len() < wave.probe.len());
+        assert!(capture_fault_wave(
+            &core,
+            &test,
+            f,
+            &fault::wave::WaveOptions { probe: vec!["nope".into()], ..Default::default() }
+        )
+        .is_err());
     }
 
     #[test]

@@ -319,6 +319,34 @@ impl Testbench for SelfTestBench<'_> {
     }
 }
 
+/// The default waveform probe for a Plasma core: every bus port (the
+/// memory interface) plus per-component flip-flop state.
+pub fn default_probe(core: &PlasmaCore) -> netlist::wave::Probe {
+    netlist::wave::Probe::full(core.netlist())
+}
+
+/// Replay one fault of `program` with waveform capture: lane 0 runs the
+/// fault-free core, lane 1 the faulty one, through the same
+/// [`SelfTestBench`] the campaigns use — so the detection verdict (and
+/// cycle) matches the campaign bit for bit while every probed net is
+/// recorded. Probe specs follow [`netlist::wave::Probe::from_spec`]
+/// (component names or port globs; empty = full probe).
+pub fn capture_fault_wave(
+    core: &PlasmaCore,
+    program: &Program,
+    mem_bytes: usize,
+    budget: u64,
+    f: fault::Fault,
+    opts: &fault::wave::WaveOptions,
+) -> Result<fault::wave::CapturedWave, String> {
+    let probe = netlist::wave::Probe::from_spec(core.netlist(), &opts.probe)?;
+    let [early, late] = core.segments();
+    let mut sim =
+        ParallelSim::with_segments(core.netlist(), &[early.to_vec(), late.to_vec()]);
+    let mut tb = SelfTestBench::new(core, program, mem_bytes, budget);
+    Ok(fault::wave::capture_fault(&mut sim, &mut tb, probe, f, opts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,6 +54,13 @@ pub struct FlowOptions {
     /// Publish campaign counters, per-component gate-eval counts, and
     /// coverage gauges into this registry (`--metrics-out`/`--serve`).
     pub metrics: Option<MetricRegistry>,
+    /// Waveform capture (`--wave-fault`/`--wave-escapes`): after the
+    /// campaign, replay the selected fault and/or the first `escapes`
+    /// undetected faults with a wave probe attached and write
+    /// differential VCDs (good/faulty/diff scopes) under
+    /// [`fault::wave::WaveOptions::out_dir`]. `None` (the default) adds
+    /// zero work — campaigns never record.
+    pub wave: Option<fault::wave::WaveOptions>,
 }
 
 impl Default for FlowOptions {
@@ -69,6 +76,7 @@ impl Default for FlowOptions {
             timeline_stride: 0,
             profile: false,
             metrics: None,
+            wave: None,
         }
     }
 }
@@ -158,6 +166,21 @@ pub struct FlowReport {
     /// Coverage-over-time samples, present when
     /// [`FlowOptions::timeline_stride`] is nonzero.
     pub timeline: Option<CoverageTimeline>,
+    /// Differential waveform dumps written by this run (empty unless
+    /// [`FlowOptions::wave`] was set).
+    pub waves: Vec<WaveArtifact>,
+}
+
+/// One differential VCD written by a flow run.
+#[derive(Debug, Clone)]
+pub struct WaveArtifact {
+    /// The replayed fault, as [`fault::Fault::describe`].
+    pub fault: String,
+    /// Where the VCD landed.
+    pub path: PathBuf,
+    /// Detection cycle (trigger), `None` for an escape captured to the
+    /// budget horizon.
+    pub detected_at: Option<u64>,
 }
 
 /// Measure the golden run length of a self-test program on the ISS.
@@ -263,6 +286,78 @@ pub fn run_campaign(
     run_campaign_of(core, &selftest.program, faults, budget)
 }
 
+/// Replay one fault of a program with waveform capture (lane 0 good,
+/// lane 1 faulty — see [`plasma::testbench::capture_fault_wave`]) and
+/// write the differential VCD as
+/// `<out_dir>/WAVE_<tag>_<fault-desc>.vcd`. The VCD `$comment` records
+/// the fault, verdict, and window geometry.
+pub fn write_fault_wave(
+    core: &PlasmaCore,
+    program: &mips::Program,
+    budget: u64,
+    f: fault::Fault,
+    wave: &fault::wave::WaveOptions,
+    tag: &str,
+) -> Result<WaveArtifact, String> {
+    let captured =
+        plasma::testbench::capture_fault_wave(core, program, MEM_BYTES, budget, f, wave)?;
+    let desc = f.describe();
+    let path = wave.out_dir.join(fault::wave::wave_file_name(tag, &desc));
+    let comment = match captured.trigger {
+        Some(t) => format!(
+            "fault {desc} detected at cycle {t}; window pre={} post={}",
+            wave.pre, wave.post
+        ),
+        None => format!("fault {desc} escaped; horizon window of {} cycles", wave.depth),
+    };
+    captured
+        .write_file(&path, &comment)
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(WaveArtifact {
+        fault: desc,
+        path,
+        detected_at: captured.trigger,
+    })
+}
+
+/// Capture the waves [`FlowOptions::wave`] asks for: the named fault
+/// (tag `fault`) and/or the first `escapes` undetected faults of the
+/// campaign (tag `escape`). Capture failures degrade to warnings — a
+/// broken wave dump should never kill a finished campaign.
+fn capture_flow_waves(
+    core: &PlasmaCore,
+    program: &mips::Program,
+    budget: u64,
+    faults: &FaultList,
+    campaign: &CampaignResult,
+    w: &fault::wave::WaveOptions,
+) -> Vec<WaveArtifact> {
+    let mut waves = Vec::new();
+    if let Some(id) = &w.fault {
+        match fault::wave::find_fault(faults, id) {
+            Some(i) => match write_fault_wave(core, program, budget, faults.faults[i], w, "fault") {
+                Ok(a) => waves.push(a),
+                Err(e) => eprintln!("warning: wave capture for `{id}` failed: {e}"),
+            },
+            None => eprintln!("warning: wave fault `{id}` not in the (sampled) fault list"),
+        }
+    }
+    let mut captured = 0usize;
+    for (i, d) in campaign.detections.iter().enumerate() {
+        if captured >= w.escapes {
+            break;
+        }
+        if !d.is_detected() {
+            match write_fault_wave(core, program, budget, faults.faults[i], w, "escape") {
+                Ok(a) => waves.push(a),
+                Err(e) => eprintln!("warning: escape wave capture failed: {e}"),
+            }
+            captured += 1;
+        }
+    }
+    waves
+}
+
 /// The full flow for one phase: generate, assemble, measure, grade, and
 /// attribute — every detection is joined against the golden ISS trace to
 /// recover the executing routine (see [`crate::provenance`]).
@@ -289,6 +384,17 @@ pub fn run_flow(core: &PlasmaCore, phase: Phase, opts: &FlowOptions) -> FlowRepo
     let provenance = ProvenanceReport::from_campaign(core.netlist(), &campaign, &trace, &map);
     let timeline = (opts.timeline_stride > 0)
         .then(|| CoverageTimeline::from_campaign(core.netlist(), &campaign, opts.timeline_stride));
+    let waves = match &opts.wave {
+        Some(w) => capture_flow_waves(
+            core,
+            &selftest.program,
+            golden + opts.cycle_margin,
+            &faults,
+            &campaign,
+            w,
+        ),
+        None => Vec::new(),
+    };
     FlowReport {
         selftest,
         golden_cycles: golden,
@@ -297,6 +403,7 @@ pub fn run_flow(core: &PlasmaCore, phase: Phase, opts: &FlowOptions) -> FlowRepo
         coverage,
         provenance,
         timeline,
+        waves,
     }
 }
 

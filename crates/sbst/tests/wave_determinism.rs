@@ -1,0 +1,62 @@
+//! Differential-dump determinism across campaign thread counts.
+//!
+//! Wave capture replays the chosen fault serially in a fresh simulator,
+//! so the VCD for a given fault must be byte-identical whether the
+//! campaign that surfaced it ran on 1 thread or 4.
+
+use plasma::{PlasmaConfig, PlasmaCore};
+use sbst::flow::{run_flow, FlowOptions};
+use sbst::phases::Phase;
+
+/// Run a small Phase A flow capturing the first escape, with `threads`
+/// workers, writing VCDs under a caller-chosen directory. Returns the
+/// raw bytes of the single wave artifact.
+fn escape_wave_bytes(core: &PlasmaCore, threads: usize, dir: &std::path::Path) -> Vec<u8> {
+    let opts = FlowOptions {
+        fault_sample: Some(400),
+        threads,
+        wave: Some(fault::wave::WaveOptions {
+            escapes: 1,
+            out_dir: dir.to_path_buf(),
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let report = run_flow(core, Phase::A, &opts);
+    assert_eq!(
+        report.waves.len(),
+        1,
+        "expected exactly one escape wave artifact"
+    );
+    let a = &report.waves[0];
+    assert!(a.detected_at.is_none(), "an escape must be undetected");
+    std::fs::read(&a.path).expect("read emitted VCD")
+}
+
+#[test]
+fn escape_wave_is_byte_identical_across_thread_counts() {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let base = std::env::temp_dir().join(format!("sbst-wave-det-{}", std::process::id()));
+    let one = escape_wave_bytes(&core, 1, &base.join("t1"));
+    let four = escape_wave_bytes(&core, 4, &base.join("t4"));
+    assert_eq!(
+        one, four,
+        "escape VCD differs between --threads 1 and --threads 4"
+    );
+
+    // The artifact is a well-formed differential dump: header, all three
+    // scopes, and at least one timestamped value change.
+    let text = String::from_utf8(one).expect("VCD is ASCII");
+    assert!(text.contains("$enddefinitions $end"));
+    for scope in ["good", "faulty", "diff"] {
+        assert!(
+            text.contains(&format!("$scope module {scope} $end")),
+            "missing scope `{scope}`"
+        );
+    }
+    assert!(
+        text.lines().any(|l| l.starts_with('#')),
+        "no timestamps in VCD"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
