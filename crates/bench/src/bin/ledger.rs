@@ -147,7 +147,18 @@ fn main() -> ExitCode {
     if let Some(dir) = json_out.parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(dir).expect("create trend dir");
     }
-    let trend = ledger::trend_json(&records, Some(&gate));
+    let mut trend = ledger::trend_json(&records, Some(&gate));
+    // The engines microbench (`cargo bench -p bench`) owns the
+    // `microbench` key of the trend file; carry it across rewrites.
+    if let Ok(prev) = std::fs::read_to_string(&json_out) {
+        if let (Ok(serde_json::Value::Object(prev)), serde_json::Value::Object(root)) =
+            (serde_json::from_str(&prev), &mut trend)
+        {
+            if let Some(micro) = prev.get("microbench") {
+                root.insert("microbench".into(), micro.clone());
+            }
+        }
+    }
     std::fs::write(
         &json_out,
         serde_json::to_string_pretty(&trend).expect("serialize"),

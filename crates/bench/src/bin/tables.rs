@@ -20,6 +20,12 @@
 //!                              #   escapes -> results/WAVE_escape_*.vcd
 //! ```
 //!
+//! `--engine {interp,compiled}` selects the simulation back-end and
+//! `--lanes N[,N..]` the compiled lane width(s): under `--stats` a
+//! comma list sweeps every width, elsewhere a single width pins the
+//! engine. `--verify-interp` makes `--stats` cross-check compiled
+//! detections against the interpreted reference engine.
+//!
 //! `--progress` adds a live batch ticker on stderr; `--trace FILE`
 //! writes structured campaign events as JSONL; `--stride N` sets the
 //! coverage-over-time sample stride of `--report` (default 500 cycles).
@@ -148,6 +154,42 @@ fn main() {
                     .expect("--threads needs a number");
             }
             "--stats" => stats = true,
+            "--engine" => {
+                let spec = it.next().expect("--engine needs interp|compiled");
+                match fault::EngineKind::parse(spec) {
+                    Ok(kind) => {
+                        opts.engine.kind = kind;
+                        if kind == fault::EngineKind::Interp {
+                            opts.engine.lane_words = 1;
+                        }
+                    }
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--lanes" => {
+                let spec = it.next().expect("--lanes needs a comma-separated list");
+                opts.lanes_sweep.clear();
+                for part in spec.split(',') {
+                    match fault::EngineConfig::parse_lanes(part) {
+                        Ok(lanes) => opts.lanes_sweep.push(lanes),
+                        Err(msg) => {
+                            eprintln!("{msg}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                // A single width also pins the configured engine, so
+                // non-`--stats` campaigns honor `--lanes N`.
+                if let [lanes] = opts.lanes_sweep[..] {
+                    if opts.engine.kind == fault::EngineKind::Compiled {
+                        opts.engine.lane_words = lanes / 64;
+                    }
+                }
+            }
+            "--verify-interp" => opts.verify_interp = true,
             "--report" => report = true,
             "--escapes" => escapes = true,
             "--progress" => opts.progress = true,
@@ -212,10 +254,12 @@ fn main() {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: tables [--all | --table <id>] [--full | --sample N] [--seed N] \
-                     [--threads N] [--stats | --report | --escapes] [--progress] [--profile] \
-                     [--trace file] [--stride N] [--json file] [--ledger file] [--no-ledger] \
-                     [--metrics-out file] [--serve port] [--wave-fault id] [--wave-escapes k] \
-                     [--wave-pre N] [--wave-post N] [--wave-depth N] [--wave-probe specs]"
+                     [--threads N] [--engine interp|compiled] [--lanes N[,N..]] \
+                     [--verify-interp] [--stats | --report | --escapes] [--progress] \
+                     [--profile] [--trace file] [--stride N] [--json file] [--ledger file] \
+                     [--no-ledger] [--metrics-out file] [--serve port] [--wave-fault id] \
+                     [--wave-escapes k] [--wave-pre N] [--wave-post N] [--wave-depth N] \
+                     [--wave-probe specs]"
                 );
                 std::process::exit(2);
             }

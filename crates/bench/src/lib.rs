@@ -17,6 +17,7 @@
 use fault::campaign::{self, CampaignResult};
 use fault::coverage::CoverageReport;
 use fault::model::FaultList;
+use fault::{EngineConfig, EngineKind};
 use netlist::synth::TechStyle;
 use obs::{LedgerRecord, MetricRegistry};
 use plasma::{PlasmaConfig, PlasmaCore, COMPONENT_NAMES};
@@ -91,6 +92,8 @@ pub fn campaign_ledger_record(
     rec.cycles = s.cycles_simulated;
     rec.wall_seconds = s.wall_seconds;
     rec.mlane_cps = s.mlane_cycles_per_sec();
+    rec.engine = s.engine.to_string();
+    rec.lanes = s.lanes;
     rec.coverage_pct = coverage_pct;
     rec.latency = s.latency.to_json();
     rec
@@ -352,6 +355,16 @@ pub struct RunOptions {
     /// Registry receiving campaign/flow metrics (`--metrics-out`,
     /// `--serve`); cloning shares the underlying store.
     pub metrics: Option<MetricRegistry>,
+    /// Simulation engine for campaign-bearing experiments (`--engine`,
+    /// `SBST_ENGINE`/`SBST_LANES`).
+    pub engine: EngineConfig,
+    /// Lane widths swept by `--stats` (`--lanes 64,256`); empty sweeps
+    /// only the configured engine width. Ignored by the interpreted
+    /// engine (pinned at 64 lanes).
+    pub lanes_sweep: Vec<usize>,
+    /// Cross-check the compiled engine's detections against the
+    /// interpreted reference during `--stats` (`--verify-interp`).
+    pub verify_interp: bool,
 }
 
 impl Default for RunOptions {
@@ -364,6 +377,9 @@ impl Default for RunOptions {
             trace_path: None,
             profile: false,
             metrics: None,
+            engine: EngineConfig::from_env(),
+            lanes_sweep: Vec::new(),
+            verify_interp: false,
         }
     }
 }
@@ -378,8 +394,25 @@ impl RunOptions {
             trace_path: self.trace_path.clone(),
             profile: self.profile,
             metrics: self.metrics.clone(),
+            engine: self.engine,
             ..Default::default()
         }
+    }
+
+    /// The engine configurations `--stats` sweeps: the configured engine,
+    /// widened across `--lanes` when given (compiled only).
+    pub fn engine_sweep(&self) -> Vec<EngineConfig> {
+        if self.engine.kind == EngineKind::Interp || self.lanes_sweep.is_empty() {
+            return vec![self.engine];
+        }
+        self.lanes_sweep
+            .iter()
+            .map(|&lanes| {
+                let mut e = EngineConfig::compiled(lanes);
+                e.gating = self.engine.gating;
+                e
+            })
+            .collect()
     }
 }
 
@@ -891,6 +924,7 @@ fn workers_json(s: &fault::campaign::CampaignStats) -> serde_json::Value {
                     "worker": w.worker,
                     "batches": w.batches,
                     "cycles": w.cycles,
+                    "lanes": w.lanes,
                     "wall_seconds": w.wall_seconds,
                     "mlane_cycles_per_sec": w.mlane_cycles_per_sec(),
                 })
@@ -903,6 +937,8 @@ fn stats_json(r: &CampaignResult) -> serde_json::Value {
     let s = &r.stats;
     serde_json::json!({
         "threads": s.threads,
+        "engine": s.engine,
+        "lanes": s.lanes,
         "batches": s.batches,
         "faults": r.faults.len(),
         "faults_dropped": s.faults_dropped,
@@ -918,8 +954,10 @@ fn stats_json(r: &CampaignResult) -> serde_json::Value {
 fn stats_line(label: &str, r: &CampaignResult) -> String {
     let s = &r.stats;
     format!(
-        "{:<10} {:>7} {:>8} {:>12} {:>10.3} {:>14.2}\n",
+        "{:<10} {:>9} {:>6} {:>7} {:>8} {:>12} {:>10.3} {:>14.2}\n",
         label,
+        s.engine,
+        s.lanes,
         s.threads,
         s.batches,
         s.cycles_simulated,
@@ -930,9 +968,11 @@ fn stats_line(label: &str, r: &CampaignResult) -> String {
 
 /// The campaign throughput benchmark behind `tables --stats`: grade the
 /// Phase A+B self-test over the sampled fault list serially and at the
-/// requested (or auto) thread count, verify the detections are
-/// bit-identical, and report wall time / Mlane-cycles/s / speedup. The
-/// driver writes the JSON payload to `results/BENCH_campaign.json`.
+/// requested (or auto) thread count for every engine/lane-width combo in
+/// the sweep, verify the detections are bit-identical across threads,
+/// lane widths and (under `--verify-interp`) engines, and report wall
+/// time / Mlane-cycles/s / speedup. The driver writes the JSON payload
+/// to `results/BENCH_campaign.json`.
 pub fn campaign_benchmark(opts: &RunOptions) -> Experiment {
     let core = PlasmaCore::build(PlasmaConfig::default());
     let fo = opts.flow_options();
@@ -955,43 +995,104 @@ pub fn campaign_benchmark(opts: &RunOptions) -> Experiment {
         metrics: opts.metrics.clone(),
         ..Default::default()
     };
-    let serial = flow::run_campaign_of_hooks(&core, &selftest.program, &faults, budget, 1, &hooks);
-    let coverage_pct = 100.0 * serial.coverage();
+    let combos = opts.engine_sweep();
+
+    // Interpreted reference detections, run once when cross-engine
+    // verification is requested and the sweep itself is compiled.
+    let interp_ref = (opts.verify_interp
+        && combos.iter().any(|e| e.kind != EngineKind::Interp))
+    .then(|| {
+        flow::run_campaign_of_engine(
+            &core,
+            &selftest.program,
+            &faults,
+            budget,
+            1,
+            &hooks,
+            EngineConfig::interp(),
+        )
+    });
+
     let mut text = format!(
         "Phase A+B campaign: {} faults, budget {} cycles/batch\n\n",
         faults.len(),
         budget
     );
     text.push_str(&format!(
-        "{:<10} {:>7} {:>8} {:>12} {:>10} {:>14}\n",
-        "run", "threads", "batches", "cycles", "wall (s)", "Mlane-cyc/s"
+        "{:<10} {:>9} {:>6} {:>7} {:>8} {:>12} {:>10} {:>14}\n",
+        "run", "engine", "lanes", "threads", "batches", "cycles", "wall (s)", "Mlane-cyc/s"
     ));
-    text.push_str(&stats_line("serial", &serial));
-    let mut runs = vec![stats_json(&serial)];
+    let mut runs = Vec::new();
     let mut speedup = 1.0;
-    // The ledger record tracks the run at the *requested* thread count —
-    // that is the configuration whose throughput trend matters.
-    let mut ledger = campaign_ledger_record("tables-stats", &core, &serial, Some(coverage_pct));
-    if threads > 1 {
-        let par =
-            flow::run_campaign_of_hooks(&core, &selftest.program, &faults, budget, threads, &hooks);
-        assert_eq!(
-            par.detections, serial.detections,
-            "parallel campaign diverged from serial"
+    let mut ledger = None;
+    // The per-combo asserts panic on divergence, so reaching the payload
+    // with a reference run means every combo matched it.
+    let cross_engine_match = interp_ref.is_some();
+    let mut last_profiled: Option<campaign::CampaignStats> = None;
+    for engine in &combos {
+        let serial = flow::run_campaign_of_engine(
+            &core,
+            &selftest.program,
+            &faults,
+            budget,
+            1,
+            &hooks,
+            *engine,
         );
-        speedup = serial.stats.wall_seconds / par.stats.wall_seconds.max(1e-9);
-        text.push_str(&stats_line("parallel", &par));
-        text.push_str(&format!("\nspeedup at {threads} threads: {speedup:.2}x\n"));
-        ledger = campaign_ledger_record("tables-stats", &core, &par, Some(coverage_pct));
-        ledger.extra.insert(
-            "speedup".to_string(),
-            serde_json::Value::F64(speedup),
-        );
-        runs.push(stats_json(&par));
-        profile_section(&mut text, &par.stats);
-    } else {
-        text.push_str("\n(auto thread count resolved to 1 — no parallel run to compare)\n");
-        profile_section(&mut text, &serial.stats);
+        let coverage_pct = 100.0 * serial.coverage();
+        if let Some(reference) = &interp_ref {
+            assert_eq!(
+                serial.detections, reference.detections,
+                "{} engine at {} lanes diverged from the interpreted reference",
+                engine.name(),
+                engine.lanes()
+            );
+        }
+        text.push_str(&stats_line("serial", &serial));
+        runs.push(stats_json(&serial));
+        // The ledger record tracks the sweep's last combo at the
+        // *requested* thread count — that is the configuration whose
+        // throughput trend matters.
+        let mut rec = campaign_ledger_record("tables-stats", &core, &serial, Some(coverage_pct));
+        if threads > 1 {
+            let par = flow::run_campaign_of_engine(
+                &core,
+                &selftest.program,
+                &faults,
+                budget,
+                threads,
+                &hooks,
+                *engine,
+            );
+            assert_eq!(
+                par.detections, serial.detections,
+                "parallel campaign diverged from serial"
+            );
+            speedup = serial.stats.wall_seconds / par.stats.wall_seconds.max(1e-9);
+            text.push_str(&stats_line("parallel", &par));
+            text.push_str(&format!("\nspeedup at {threads} threads: {speedup:.2}x\n"));
+            rec = campaign_ledger_record("tables-stats", &core, &par, Some(coverage_pct));
+            rec.extra.insert(
+                "speedup".to_string(),
+                serde_json::Value::F64(speedup),
+            );
+            runs.push(stats_json(&par));
+            last_profiled = Some(par.stats);
+        } else {
+            text.push_str("\n(auto thread count resolved to 1 — no parallel run to compare)\n");
+            last_profiled = Some(serial.stats);
+        }
+        ledger = Some(rec);
+    }
+    if let Some(reference) = &interp_ref {
+        text.push_str(&format!(
+            "\ncross-engine check: compiled detections match the interpreted \
+             reference ({} faults)\n",
+            reference.faults.len()
+        ));
+    }
+    if let Some(stats) = &last_profiled {
+        profile_section(&mut text, stats);
     }
     let mut exp = experiment(
         "campaign",
@@ -1002,9 +1103,11 @@ pub fn campaign_benchmark(opts: &RunOptions) -> Experiment {
             "budget_cycles_per_batch": budget,
             "runs": runs,
             "speedup": speedup,
+            "cross_engine_match": cross_engine_match,
+            "verified_vs_interp": interp_ref.is_some(),
         }),
     );
-    exp.ledger = Some(ledger);
+    exp.ledger = ledger;
     exp
 }
 

@@ -28,9 +28,28 @@ fn assert_num(v: &Value, what: &str) -> f64 {
 fn check_run(run: &Value) {
     let threads = assert_uint(field(run, "threads"), "threads");
     assert!(threads >= 1);
+    let engine = field(run, "engine")
+        .as_str()
+        .expect("engine is a string");
+    assert!(
+        engine == "interp" || engine == "compiled",
+        "unknown engine `{engine}`"
+    );
+    let lanes = assert_uint(field(run, "lanes"), "lanes");
+    assert!(
+        matches!(lanes, 64 | 128 | 256 | 512),
+        "unsupported lane width {lanes}"
+    );
+    if engine == "interp" {
+        assert_eq!(lanes, 64, "interpreted engine is pinned at 64 lanes");
+    }
     let batches = assert_uint(field(run, "batches"), "batches");
     let faults = assert_uint(field(run, "faults"), "faults");
-    assert_eq!(batches, faults.div_ceil(63), "batches must cover faults");
+    assert_eq!(
+        batches,
+        faults.div_ceil(lanes - 1),
+        "batches must cover faults at {lanes} lanes"
+    );
     let dropped = assert_uint(field(run, "faults_dropped"), "faults_dropped");
     assert!(dropped <= faults);
     let cycles = assert_uint(field(run, "cycles_simulated"), "cycles_simulated");
@@ -64,6 +83,7 @@ fn check_run(run: &Value) {
         assert_uint(field(w, "worker"), "worker id");
         wb += assert_uint(field(w, "batches"), "worker batches");
         wc += assert_uint(field(w, "cycles"), "worker cycles");
+        assert_eq!(assert_uint(field(w, "lanes"), "worker lanes"), lanes);
         assert_num(field(w, "wall_seconds"), "worker wall_seconds");
         assert_num(field(w, "mlane_cycles_per_sec"), "worker rate");
     }

@@ -2,19 +2,28 @@
 //! records, and execution observability.
 //!
 //! A campaign simulates every fault in a [`FaultList`] against a stimulus
-//! source, 63 faults at a time (lane 0 carries the fault-free reference),
-//! and records when each fault is first *detected* — i.e. when the faulty
-//! machine's primary-output behaviour diverges from the reference. Batches
-//! end early once all their faults are detected (fault dropping).
+//! source, `lanes - 1` faults at a time (lane 0 carries the fault-free
+//! reference), and records when each fault is first *detected* — i.e.
+//! when the faulty machine's primary-output behaviour diverges from the
+//! reference. Batches end early once all their faults are detected
+//! (fault dropping).
 //!
-//! Two runners share all of that machinery:
+//! Two engines implement the same contract:
 //!
-//! * [`run`] executes the batch sequence serially on one simulator;
-//! * [`run_parallel`] shards it over worker threads (N threads × 64
-//!   lanes each) pulling batches off an atomic cursor. Batches are
-//!   independent — the simulator state is rebuilt from scratch per batch
-//!   — so the merged result is bit-identical to the serial one at every
-//!   thread count.
+//! * the interpreted [`ParallelSim`] (64 lanes, [`Testbench`], runners
+//!   [`run`]/[`run_parallel`]) — the differential reference;
+//! * the compiled [`WideSim`] (64–512 lanes, [`WideTestbench`], runners
+//!   [`run_wide`]/[`run_parallel_wide`]) — the default, selected via
+//!   [`crate::engine::EngineConfig`].
+//!
+//! Serial and parallel runners share all machinery: the parallel ones
+//! shard the batch sequence over worker threads pulling batches off a
+//! cache-line-padded atomic cursor, each worker owning its own simulator
+//! state (wide workers share one immutable compiled kernel by `Arc`).
+//! Batches are independent — the simulator state is rebuilt from scratch
+//! per batch — so the merged result is bit-identical to the serial one
+//! at every thread count, and a fault's detection is independent of lane
+//! width, so all four runners agree fault for fault.
 //!
 //! Both have `*_with` variants taking [`CampaignHooks`]: an optional
 //! structured [`obs::Tracer`] (JSONL `campaign`/`batch` events with
@@ -36,7 +45,15 @@ use obs::{
 use serde_json::Value;
 
 use crate::model::{Fault, FaultList};
-use crate::sim::ParallelSim;
+use crate::sim::{ParallelSim, SimStats};
+use crate::wide::WideSim;
+
+/// Wraps the shared batch cursor so it owns a full cache line: workers
+/// on different cores hammer `fetch_add` on it, and without padding the
+/// line would also carry neighbouring stack data (false sharing — one
+/// cause of the recorded 4-thread regression).
+#[repr(align(128))]
+struct CachePadded<T>(T);
 
 /// Stimulus source driven by the campaign runner, one clock cycle at a
 /// time.
@@ -89,6 +106,8 @@ pub struct WorkerStats {
     pub cycles: u64,
     /// Wall-clock seconds this worker spent in its batch loop.
     pub wall_seconds: f64,
+    /// Lanes per simulated cycle on this worker's engine.
+    pub lanes: u64,
 }
 
 impl WorkerStats {
@@ -97,7 +116,7 @@ impl WorkerStats {
         if self.wall_seconds <= 0.0 {
             return 0.0;
         }
-        (self.cycles as f64 * 64.0) / self.wall_seconds / 1e6
+        (self.cycles as f64 * self.lanes as f64) / self.wall_seconds / 1e6
     }
 }
 
@@ -105,7 +124,7 @@ impl WorkerStats {
 /// layer that turns "it feels faster" into numbers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignStats {
-    /// Number of 63-fault batches simulated.
+    /// Number of `lanes - 1`-fault batches simulated.
     pub batches: u64,
     /// Clock cycles actually simulated, summed over batches (fault
     /// dropping ends batches early, so this is ≤ `budget_cycles`).
@@ -127,6 +146,12 @@ pub struct CampaignStats {
     /// Hot-loop phase profile accumulated by this run (empty unless the
     /// hooks carried an enabled [`Profiler`]).
     pub profile: PhaseProfile,
+    /// Simulation engine that produced this run (`"interp"` or
+    /// `"compiled"`).
+    pub engine: &'static str,
+    /// Lanes per simulated cycle (64 for the interpreted engine, up to
+    /// 512 for the compiled one).
+    pub lanes: u64,
 }
 
 impl Default for CampaignStats {
@@ -141,18 +166,20 @@ impl Default for CampaignStats {
             latency: LatencyHistogram::new(),
             workers: Vec::new(),
             profile: PhaseProfile::default(),
+            engine: "interp",
+            lanes: 64,
         }
     }
 }
 
 impl CampaignStats {
     /// Simulation throughput in millions of lane-cycles per second
-    /// (64 faulty machines per simulated cycle).
+    /// (`lanes` faulty machines per simulated cycle).
     pub fn mlane_cycles_per_sec(&self) -> f64 {
         if self.wall_seconds <= 0.0 {
             return 0.0;
         }
-        (self.cycles_simulated as f64 * 64.0) / self.wall_seconds / 1e6
+        (self.cycles_simulated as f64 * self.lanes as f64) / self.wall_seconds / 1e6
     }
 }
 
@@ -256,10 +283,17 @@ fn publish_run_metrics(registry: &MetricRegistry, stats: &CampaignStats) {
     stats.profile.export(registry);
 }
 
-/// Number of 63-fault batches a campaign over `faults` will run — the
-/// `total` to size an [`obs::Progress`] ticker with.
+/// Number of 63-fault batches an interpreted-engine campaign over
+/// `faults` will run — the `total` to size an [`obs::Progress`] ticker
+/// with.
 pub fn batch_count(faults: &FaultList) -> u64 {
-    faults.len().div_ceil(63) as u64
+    batch_count_lanes(faults, 64)
+}
+
+/// Number of `lanes - 1`-fault batches a campaign over `faults` will
+/// run at a given lane width.
+pub fn batch_count_lanes(faults: &FaultList, lanes: usize) -> u64 {
+    faults.len().div_ceil(lanes - 1) as u64
 }
 
 /// Result of running a campaign over a fault list.
@@ -355,6 +389,12 @@ impl CampaignResult {
                 latency,
                 workers,
                 profile,
+                engine: if self.stats.engine == other.stats.engine {
+                    self.stats.engine
+                } else {
+                    "mixed"
+                },
+                lanes: self.stats.lanes.max(other.stats.lanes),
             },
         }
     }
@@ -414,25 +454,27 @@ fn run_batch(
     budget
 }
 
-/// Emit the `campaign_begin` event shared by both runners.
+/// Emit the `campaign_begin` event shared by all runners.
+#[allow(clippy::too_many_arguments)]
 fn trace_campaign_begin(
     tracer: &Tracer,
     mode: &str,
-    sim: &ParallelSim,
+    g: SimStats,
     faults: &FaultList,
     budget: u64,
     threads: usize,
+    lanes: usize,
 ) {
     if !tracer.enabled() {
         return;
     }
-    let g = sim.stats();
     tracer.event(
         "campaign_begin",
         &[
             ("mode", Value::String(mode.to_string())),
             ("faults", Value::U64(faults.len() as u64)),
-            ("batches", Value::U64(faults.len().div_ceil(63) as u64)),
+            ("batches", Value::U64(batch_count_lanes(faults, lanes))),
+            ("lanes", Value::U64(lanes as u64)),
             ("budget", Value::U64(budget)),
             ("threads", Value::U64(threads as u64)),
             ("nets", Value::U64(g.nets as u64)),
@@ -502,7 +544,7 @@ pub fn run_with(
     let counters = hooks.metrics.as_ref().map(BatchCounters::of);
     let mut detections = vec![Detection::Undetected; faults.len()];
     let budget = tb.cycles();
-    trace_campaign_begin(&hooks.tracer, "serial", sim, faults, budget, 1);
+    trace_campaign_begin(&hooks.tracer, "serial", sim.stats(), faults, budget, 1, 64);
     let mut cycles = 0u64;
     let mut batches = 0u64;
     for (b, (batch, out)) in faults
@@ -538,8 +580,11 @@ pub fn run_with(
             batches,
             cycles,
             wall_seconds: wall,
+            lanes: 64,
         }],
         profile: hooks.profiler.snapshot().since(&profile_start),
+        engine: "interp",
+        lanes: 64,
     };
     trace_campaign_end(&hooks.tracer, &stats);
     if let Some(p) = &hooks.progress {
@@ -636,13 +681,21 @@ pub fn run_parallel_with<F: TestbenchFactory>(
     let t0 = Instant::now();
     let profile_start = hooks.profiler.snapshot();
     let budget = factory.create().cycles();
-    trace_campaign_begin(&hooks.tracer, "parallel", proto, faults, budget, workers);
+    trace_campaign_begin(
+        &hooks.tracer,
+        "parallel",
+        proto.stats(),
+        faults,
+        budget,
+        workers,
+        64,
+    );
     let mut detections = vec![Detection::Undetected; faults.len()];
     // One uncontended Mutex per batch slice: a worker locks only the
     // batches the cursor hands it, so slices stay disjoint and safe.
     let slots: Vec<Mutex<&mut [Detection]>> =
         detections.chunks_mut(63).map(Mutex::new).collect();
-    let cursor = AtomicUsize::new(0);
+    let cursor = CachePadded(AtomicUsize::new(0));
     let (batches_ref, slots_ref, cursor_ref) = (&batches, &slots, &cursor);
     let mut worker_stats = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -658,7 +711,7 @@ pub fn run_parallel_with<F: TestbenchFactory>(
                     let mut cycles = 0u64;
                     let mut done = 0u64;
                     loop {
-                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                        let b = cursor.0.fetch_add(1, Ordering::Relaxed);
                         if b >= batches.len() {
                             break;
                         }
@@ -687,6 +740,7 @@ pub fn run_parallel_with<F: TestbenchFactory>(
                         batches: done,
                         cycles,
                         wall_seconds: tw.elapsed().as_secs_f64(),
+                        lanes: 64,
                     }
                 })
             })
@@ -710,6 +764,8 @@ pub fn run_parallel_with<F: TestbenchFactory>(
         latency: latency_of(&detections),
         workers: worker_stats,
         profile: hooks.profiler.snapshot().since(&profile_start),
+        engine: "interp",
+        lanes: 64,
     };
     trace_campaign_end(&hooks.tracer, &stats);
     if let Some(p) = &hooks.progress {
@@ -781,6 +837,377 @@ pub fn run_vectors(
     let mut sim = ParallelSim::new(netlist);
     let mut tb = VectorBench::new(netlist, vectors);
     run(&mut sim, faults, &mut tb)
+}
+
+/// Stimulus source for the compiled multi-word engine — the
+/// [`Testbench`] contract widened to lane blocks: `step` fills `diff`
+/// (one word per 64 lanes) with the lanes that diverged from lane 0
+/// this cycle.
+pub trait WideTestbench {
+    /// Prepare for a fresh batch (after injection and reset).
+    fn begin(&mut self, sim: &mut WideSim);
+
+    /// Execute one clock cycle, OR-ing diverged lanes into `diff`
+    /// (length `sim.lane_words()`, zeroed by the caller).
+    fn step(&mut self, sim: &mut WideSim, cycle: u64, diff: &mut [u64]);
+
+    /// Total number of cycles to run per batch.
+    fn cycles(&self) -> u64;
+}
+
+/// Creates one [`WideTestbench`] per worker thread.
+/// Blanket-implemented for `Fn() -> T` closures.
+pub trait WideTestbenchFactory: Sync {
+    /// The testbench type produced.
+    type Bench: WideTestbench;
+
+    /// Create a fresh testbench (called once per worker thread).
+    fn create(&self) -> Self::Bench;
+}
+
+impl<T: WideTestbench, F: Fn() -> T + Sync> WideTestbenchFactory for F {
+    type Bench = T;
+
+    fn create(&self) -> T {
+        self()
+    }
+}
+
+/// [`run_batch`] for the compiled engine: one batch of up to
+/// `lanes - 1` faults, detection bookkeeping per lane word.
+fn run_batch_wide(
+    sim: &mut WideSim,
+    tb: &mut dyn WideTestbench,
+    batch: &[Fault],
+    budget: u64,
+    out: &mut [Detection],
+    profiler: &Profiler,
+) -> u64 {
+    {
+        let _patch = profiler.scope(ProfilePhase::Patch);
+        sim.clear_faults();
+        for (k, &f) in batch.iter().enumerate() {
+            sim.inject(f, k + 1);
+        }
+    }
+    {
+        let _reset = profiler.scope(ProfilePhase::Reset);
+        sim.reset_state();
+        tb.begin(sim);
+    }
+    let w = sim.lane_words();
+    let mut active = [0u64; crate::wide::MAX_LANE_WORDS];
+    for k in 0..batch.len() {
+        let lane = k + 1;
+        active[lane >> 6] |= 1u64 << (lane & 63);
+    }
+    let mut detected = [0u64; crate::wide::MAX_LANE_WORDS];
+    let mut diff = [0u64; crate::wide::MAX_LANE_WORDS];
+    for cycle in 0..budget {
+        diff[..w].fill(0);
+        tb.step(sim, cycle, &mut diff[..w]);
+        let mut all_done = true;
+        for t in 0..w {
+            let newly = diff[t] & active[t] & !detected[t];
+            if newly != 0 {
+                let mut rem = newly;
+                while rem != 0 {
+                    let lane = (t << 6) + rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    out[lane - 1] = Detection::DetectedAt(cycle);
+                }
+                detected[t] |= newly;
+            }
+            all_done &= detected[t] == active[t];
+        }
+        if all_done {
+            return cycle + 1; // every fault in the batch dropped
+        }
+    }
+    budget
+}
+
+/// Serial campaign on the compiled engine: [`run`]'s contract at
+/// `sim.lanes()` faults-plus-reference per batch. Detections are
+/// bit-identical to the interpreted runner for every fault.
+pub fn run_wide(
+    sim: &mut WideSim,
+    faults: &FaultList,
+    tb: &mut dyn WideTestbench,
+) -> CampaignResult {
+    run_wide_with(sim, faults, tb, &CampaignHooks::none())
+}
+
+/// [`run_wide`] with observability hooks (same semantics as
+/// [`run_with`]).
+pub fn run_wide_with(
+    sim: &mut WideSim,
+    faults: &FaultList,
+    tb: &mut dyn WideTestbench,
+    hooks: &CampaignHooks,
+) -> CampaignResult {
+    let t0 = Instant::now();
+    let profile_start = hooks.profiler.snapshot();
+    let counters = hooks.metrics.as_ref().map(BatchCounters::of);
+    let lanes = sim.lanes();
+    let chunk = lanes - 1;
+    let mut detections = vec![Detection::Undetected; faults.len()];
+    let budget = tb.cycles();
+    trace_campaign_begin(
+        &hooks.tracer,
+        "serial",
+        sim.stats(),
+        faults,
+        budget,
+        1,
+        lanes,
+    );
+    let mut cycles = 0u64;
+    let mut batches = 0u64;
+    for (b, (batch, out)) in faults
+        .faults
+        .chunks(chunk)
+        .zip(detections.chunks_mut(chunk))
+        .enumerate()
+    {
+        let c = run_batch_wide(sim, tb, batch, budget, out, &hooks.profiler);
+        cycles += c;
+        batches += 1;
+        trace_batch(&hooks.tracer, b, out, c);
+        if let Some(p) = &hooks.progress {
+            p.inc(1);
+        }
+        if let Some(ctr) = &counters {
+            ctr.batches.inc(1);
+            ctr.cycles.inc(c);
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let dropped = detections.iter().filter(|d| d.is_detected()).count() as u64;
+    let stats = CampaignStats {
+        batches,
+        cycles_simulated: cycles,
+        budget_cycles: batches * budget,
+        faults_dropped: dropped,
+        wall_seconds: wall,
+        threads: 1,
+        latency: latency_of(&detections),
+        workers: vec![WorkerStats {
+            worker: 0,
+            batches,
+            cycles,
+            wall_seconds: wall,
+            lanes: lanes as u64,
+        }],
+        profile: hooks.profiler.snapshot().since(&profile_start),
+        engine: "compiled",
+        lanes: lanes as u64,
+    };
+    trace_campaign_end(&hooks.tracer, &stats);
+    if let Some(p) = &hooks.progress {
+        p.finish();
+    }
+    if let Some(reg) = &hooks.metrics {
+        publish_run_metrics(reg, &stats);
+    }
+    CampaignResult {
+        faults: faults.clone(),
+        detections,
+        stats,
+    }
+}
+
+/// Parallel campaign on the compiled engine. Each worker clones `proto`
+/// — per-worker lane state with a shared, immutable compiled kernel
+/// (`Arc`), i.e. kernel affinity without duplicating the lowered
+/// program — and pulls `lanes - 1`-fault batches off a cache-padded
+/// atomic cursor. Bit-identical to [`run_wide`] at any thread count.
+pub fn run_parallel_wide<F: WideTestbenchFactory>(
+    proto: &WideSim,
+    faults: &FaultList,
+    factory: &F,
+    threads: usize,
+) -> CampaignResult {
+    run_parallel_wide_with(proto, faults, factory, threads, &CampaignHooks::none())
+}
+
+/// [`run_parallel_wide`] with observability hooks (same semantics as
+/// [`run_parallel_with`]).
+pub fn run_parallel_wide_with<F: WideTestbenchFactory>(
+    proto: &WideSim,
+    faults: &FaultList,
+    factory: &F,
+    threads: usize,
+    hooks: &CampaignHooks,
+) -> CampaignResult {
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    let lanes = proto.lanes();
+    let chunk = lanes - 1;
+    let batches: Vec<&[Fault]> = faults.faults.chunks(chunk).collect();
+    let workers = threads.min(batches.len()).max(1);
+    if workers == 1 {
+        let mut sim = proto.clone();
+        let mut tb = factory.create();
+        return run_wide_with(&mut sim, faults, &mut tb, hooks);
+    }
+
+    let t0 = Instant::now();
+    let profile_start = hooks.profiler.snapshot();
+    let budget = factory.create().cycles();
+    trace_campaign_begin(
+        &hooks.tracer,
+        "parallel",
+        proto.stats(),
+        faults,
+        budget,
+        workers,
+        lanes,
+    );
+    let mut detections = vec![Detection::Undetected; faults.len()];
+    let slots: Vec<Mutex<&mut [Detection]>> =
+        detections.chunks_mut(chunk).map(Mutex::new).collect();
+    let cursor = CachePadded(AtomicUsize::new(0));
+    let (batches_ref, slots_ref, cursor_ref) = (&batches, &slots, &cursor);
+    let mut worker_stats = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (batches, slots, cursor) = (batches_ref, slots_ref, cursor_ref);
+                s.spawn(move || {
+                    let tw = Instant::now();
+                    let mut sim = proto.clone();
+                    let mut tb = factory.create();
+                    let counters = hooks.metrics.as_ref().map(BatchCounters::of);
+                    let mut cycles = 0u64;
+                    let mut done = 0u64;
+                    loop {
+                        let b = cursor.0.fetch_add(1, Ordering::Relaxed);
+                        if b >= batches.len() {
+                            break;
+                        }
+                        let mut out = slots[b].lock().expect("batch slot poisoned");
+                        let c = run_batch_wide(
+                            &mut sim,
+                            &mut tb,
+                            batches[b],
+                            budget,
+                            &mut out,
+                            &hooks.profiler,
+                        );
+                        cycles += c;
+                        done += 1;
+                        trace_batch(&hooks.tracer, b, &out, c);
+                        if let Some(p) = &hooks.progress {
+                            p.inc(1);
+                        }
+                        if let Some(ctr) = &counters {
+                            ctr.batches.inc(1);
+                            ctr.cycles.inc(c);
+                        }
+                    }
+                    WorkerStats {
+                        worker: w,
+                        batches: done,
+                        cycles,
+                        wall_seconds: tw.elapsed().as_secs_f64(),
+                        lanes: lanes as u64,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    drop(slots);
+    worker_stats.sort_by_key(|w| w.worker);
+    let cycles_total: u64 = worker_stats.iter().map(|w| w.cycles).sum();
+    let dropped = detections.iter().filter(|d| d.is_detected()).count() as u64;
+    let stats = CampaignStats {
+        batches: batches.len() as u64,
+        cycles_simulated: cycles_total,
+        budget_cycles: batches.len() as u64 * budget,
+        faults_dropped: dropped,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        threads: workers,
+        latency: latency_of(&detections),
+        workers: worker_stats,
+        profile: hooks.profiler.snapshot().since(&profile_start),
+        engine: "compiled",
+        lanes: lanes as u64,
+    };
+    trace_campaign_end(&hooks.tracer, &stats);
+    if let Some(p) = &hooks.progress {
+        p.finish();
+    }
+    if let Some(reg) = &hooks.metrics {
+        publish_run_metrics(reg, &stats);
+    }
+    CampaignResult {
+        faults: faults.clone(),
+        detections,
+        stats,
+    }
+}
+
+/// [`VectorBench`] for the compiled engine: fixed vectors broadcast to
+/// all lanes, every primary output observed each cycle.
+pub struct WideVectorBench<'a> {
+    netlist: &'a Netlist,
+    vectors: &'a [Vec<(&'a str, u64)>],
+    output_nets: Vec<netlist::Net>,
+}
+
+impl<'a> WideVectorBench<'a> {
+    /// Create a bench over all output ports of `netlist`.
+    pub fn new(netlist: &'a Netlist, vectors: &'a [Vec<(&'a str, u64)>]) -> Self {
+        let output_nets = netlist
+            .ports()
+            .filter(|(_, d, _)| matches!(d, netlist::PortDir::Output))
+            .flat_map(|(_, _, nets)| nets.iter().copied())
+            .collect();
+        WideVectorBench {
+            netlist,
+            vectors,
+            output_nets,
+        }
+    }
+}
+
+impl WideTestbench for WideVectorBench<'_> {
+    fn begin(&mut self, _sim: &mut WideSim) {}
+
+    fn step(&mut self, sim: &mut WideSim, cycle: u64, diff: &mut [u64]) {
+        for &(port, value) in &self.vectors[cycle as usize] {
+            sim.set_port(self.netlist, port, value);
+        }
+        sim.eval_all();
+        sim.diff_vs_lane0(&self.output_nets, diff);
+        sim.clock();
+    }
+
+    fn cycles(&self) -> u64 {
+        self.vectors.len() as u64
+    }
+}
+
+/// [`run_vectors`] on the compiled engine at a chosen lane width.
+pub fn run_vectors_wide(
+    netlist: &Netlist,
+    faults: &FaultList,
+    vectors: &[Vec<(&str, u64)>],
+    lane_words: usize,
+    gating: bool,
+) -> CampaignResult {
+    let segments = vec![netlist.topo_order().to_vec()];
+    let kernel = crate::kernel::compile_cached(netlist, &segments);
+    let mut sim = WideSim::new(kernel, lane_words, gating);
+    let mut tb = WideVectorBench::new(netlist, vectors);
+    run_wide(&mut sim, faults, &mut tb)
 }
 
 #[cfg(test)]
@@ -942,9 +1369,62 @@ mod tests {
             batches: 1,
             cycles: 1_000_000,
             wall_seconds: 0.0,
+            lanes: 64,
         };
         assert_eq!(w.mlane_cycles_per_sec(), 0.0);
         assert!(w.mlane_cycles_per_sec().is_finite());
+    }
+
+    /// The compiled engine must agree with the interpreted reference
+    /// fault for fault at every lane width, gated or not, serial or
+    /// parallel — the bit-identical acceptance criterion at the
+    /// vector-bench level.
+    #[test]
+    fn wide_runners_match_interpreted_detections() {
+        let mut b = NetlistBuilder::new("wide");
+        let a = b.inputs("a", 24);
+        let c = b.inputs("b", 24);
+        let y = b.xor_word(&a, &c);
+        let q = b.dff_word(&y, 0);
+        let z = b.and_word(&q, &a);
+        b.outputs("z", &z);
+        let nl = b.finish().unwrap();
+        let faults = FaultList::extract(&nl).collapsed(&nl);
+        assert!(faults.len() > 126, "need multiple batches at 64 lanes");
+        let vectors: Vec<Vec<(&str, u64)>> = vec![
+            vec![("a", 0xAAAAAA), ("b", 0x555555)],
+            vec![("a", 0xFFFFFF), ("b", 0)],
+            vec![("a", 0x123456), ("b", 0x654321)],
+        ];
+        let reference = run_vectors(&nl, &faults, &vectors);
+        for lane_words in [1usize, 2, 4, 8] {
+            for gating in [false, true] {
+                let wide = run_vectors_wide(&nl, &faults, &vectors, lane_words, gating);
+                assert_eq!(
+                    wide.detections, reference.detections,
+                    "compiled({} lanes, gating={gating}) diverged from interp",
+                    64 * lane_words
+                );
+                assert_eq!(wide.stats.engine, "compiled");
+                assert_eq!(wide.stats.lanes, 64 * lane_words as u64);
+                assert_eq!(
+                    wide.stats.batches,
+                    batch_count_lanes(&faults, 64 * lane_words)
+                );
+            }
+        }
+        // Parallel wide matches serial wide and the interp reference.
+        let segments = vec![nl.topo_order().to_vec()];
+        let kernel = crate::kernel::compile_cached(&nl, &segments);
+        for threads in [2usize, 4] {
+            let proto = WideSim::new(kernel.clone(), 2, true);
+            let factory = || WideVectorBench::new(&nl, &vectors);
+            let par = run_parallel_wide(&proto, &faults, &factory, threads);
+            assert_eq!(
+                par.detections, reference.detections,
+                "parallel wide at {threads} threads diverged"
+            );
+        }
     }
 
     /// Enabling every hook (profiler + metrics + tracing disabled) must

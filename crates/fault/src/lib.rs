@@ -11,6 +11,12 @@
 //!   dropping ([`sim::ParallelSim`], [`campaign`]): each bit of a machine
 //!   word carries an independent faulty machine, lane 0 is the fault-free
 //!   reference,
+//! * a **compiled multi-word engine** ([`kernel`], [`wide::WideSim`],
+//!   [`engine`]): the netlist lowered once into a dense straight-line
+//!   instruction stream evaluated over 1–8 u64 words per net (64–512
+//!   lanes), with a fingerprint-keyed kernel cache and optional
+//!   activity gating — bit-identical detections to the interpreted
+//!   engine at every width (the campaign default),
 //! * **campaign drivers** for both plain vector tests
 //!   ([`campaign::run_vectors`]) and full-processor self-test execution via
 //!   the [`campaign::Testbench`] trait,
@@ -52,9 +58,13 @@ pub mod campaign;
 pub mod collapse;
 pub mod coverage;
 pub mod dictionary;
+pub mod engine;
+pub mod kernel;
 pub mod model;
 pub mod scoap;
 pub mod sim;
 pub mod wave;
+pub mod wide;
 
+pub use engine::{EngineConfig, EngineKind};
 pub use model::{Fault, FaultList, FaultSite, Polarity};

@@ -13,8 +13,12 @@
 //! `kind` is the comparability key: the regression gate only compares a
 //! record against earlier records with the same kind, netlist
 //! fingerprint, and fault count (throughput additionally requires the
-//! same thread count — a 1-thread run is not slower than an 8-thread
-//! one, it is a different experiment). Records whose schema version is
+//! same thread count, engine, and lane width — a 1-thread run is not
+//! slower than an 8-thread one, and an interpreted 64-lane run is not
+//! slower than a compiled 256-lane one; they are different experiments).
+//! Coverage, by contrast, is engine- and lane-invariant (the engines are
+//! bit-identical by construction), so the coverage gate deliberately
+//! compares across engines. Records whose schema version is
 //! newer than this reader are skipped, not errors: old binaries keep
 //! working against a ledger written by newer ones.
 
@@ -45,6 +49,14 @@ pub struct LedgerRecord {
     pub netlist: String,
     /// Worker threads the run used.
     pub threads: u64,
+    /// Simulation engine (`"interp"` or `"compiled"`). Part of the
+    /// throughput comparability key; records written before the field
+    /// existed parse as `"interp"`, which is what they ran.
+    pub engine: String,
+    /// Bit-parallel lanes per pass (64 for the interpreted engine,
+    /// 64×W for the compiled one). Part of the throughput
+    /// comparability key; old records parse as 64.
+    pub lanes: u64,
     /// Faults simulated (0 when not a fault campaign).
     pub faults: u64,
     /// Clock cycles simulated.
@@ -75,6 +87,8 @@ impl LedgerRecord {
             cmd: cmd.to_string(),
             netlist: String::new(),
             threads: 0,
+            engine: "interp".to_string(),
+            lanes: 64,
             faults: 0,
             cycles: 0,
             wall_seconds: 0.0,
@@ -95,6 +109,8 @@ impl LedgerRecord {
         m.insert("cmd".into(), Value::String(self.cmd.clone()));
         m.insert("netlist".into(), Value::String(self.netlist.clone()));
         m.insert("threads".into(), Value::U64(self.threads));
+        m.insert("engine".into(), Value::String(self.engine.clone()));
+        m.insert("lanes".into(), Value::U64(self.lanes));
         m.insert("faults".into(), Value::U64(self.faults));
         m.insert("cycles".into(), Value::U64(self.cycles));
         m.insert("wall_seconds".into(), Value::F64(self.wall_seconds));
@@ -135,6 +151,12 @@ impl LedgerRecord {
                 .unwrap_or("")
                 .to_string(),
             threads: o.get("threads").and_then(|t| t.as_u64()).unwrap_or(0),
+            engine: o
+                .get("engine")
+                .and_then(|e| e.as_str())
+                .unwrap_or("interp")
+                .to_string(),
+            lanes: o.get("lanes").and_then(|t| t.as_u64()).unwrap_or(64),
             faults: o.get("faults").and_then(|t| t.as_u64()).unwrap_or(0),
             cycles: o.get("cycles").and_then(|t| t.as_u64()).unwrap_or(0),
             wall_seconds: o
@@ -313,7 +335,12 @@ pub struct GateReport {
 }
 
 fn comparable_throughput(a: &LedgerRecord, b: &LedgerRecord) -> bool {
-    a.kind == b.kind && a.netlist == b.netlist && a.faults == b.faults && a.threads == b.threads
+    a.kind == b.kind
+        && a.netlist == b.netlist
+        && a.faults == b.faults
+        && a.threads == b.threads
+        && a.engine == b.engine
+        && a.lanes == b.lanes
 }
 
 fn comparable_coverage(a: &LedgerRecord, b: &LedgerRecord) -> bool {
@@ -365,8 +392,8 @@ pub fn check(records: &[LedgerRecord], cfg: &GateConfig) -> GateReport {
             ));
         }
         _ => notes.push(format!(
-            "no comparable throughput baseline for kind `{}` (netlist {}, {} faults, {} threads)",
-            latest.kind, latest.netlist, latest.faults, latest.threads
+            "no comparable throughput baseline for kind `{}` (netlist {}, {} faults, {} threads, {} engine, {} lanes)",
+            latest.kind, latest.netlist, latest.faults, latest.threads, latest.engine, latest.lanes
         )),
     }
 
@@ -433,8 +460,8 @@ pub fn trend_table(records: &[LedgerRecord]) -> String {
         let rows: Vec<&LedgerRecord> = records.iter().filter(|r| r.kind == kind).collect();
         out.push_str(&format!("== {kind} ({} run(s)) ==\n", rows.len()));
         out.push_str(&format!(
-            "{:<20} {:<18} {:>3} {:>8} {:>12} {:>9} {:>8} {:>8}\n",
-            "when (UTC)", "git", "thr", "faults", "Mlane-cyc/s", "Δbest%", "cov%", "Δcov"
+            "{:<20} {:<18} {:>3} {:>8} {:>5} {:>8} {:>12} {:>9} {:>8} {:>8}\n",
+            "when (UTC)", "git", "thr", "engine", "lanes", "faults", "Mlane-cyc/s", "Δbest%", "cov%", "Δcov"
         ));
         for (i, r) in rows.iter().enumerate() {
             // Best comparable throughput among earlier rows of this kind.
@@ -458,10 +485,12 @@ pub fn trend_table(records: &[LedgerRecord]) -> String {
                 _ => "-".to_string(),
             };
             out.push_str(&format!(
-                "{:<20} {:<18} {:>3} {:>8} {:>12.2} {:>9} {:>8} {:>8}\n",
+                "{:<20} {:<18} {:>3} {:>8} {:>5} {:>8} {:>12.2} {:>9} {:>8} {:>8}\n",
                 format_utc(r.ts),
                 truncate(&r.git, 18),
                 r.threads,
+                truncate(&r.engine, 8),
+                r.lanes,
                 r.faults,
                 r.mlane_cps,
                 dbest,
@@ -530,6 +559,8 @@ mod tests {
             cmd: format!("{kind} --test"),
             netlist: "n1/g2/d3".into(),
             threads,
+            engine: "interp".into(),
+            lanes: 64,
             faults: 8000,
             cycles: 1_000_000,
             wall_seconds: 1.0,
@@ -543,11 +574,52 @@ mod tests {
     #[test]
     fn record_round_trips_through_json() {
         let mut r = rec("tables-stats", 8, 123.456, Some(92.44));
+        r.engine = "compiled".into();
+        r.lanes = 256;
         r.extra.insert("speedup".into(), Value::F64(3.5));
         r.latency = serde_json::json!([{ "lo": 0u64, "hi": 1u64, "count": 5u64 }]);
         let line = serde_json::to_string(&r.to_json()).unwrap();
         let parsed = LedgerRecord::from_json(&serde_json::from_str(&line).unwrap()).unwrap();
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn records_without_engine_fields_parse_as_interp_64() {
+        // A pre-engine ledger line (no `engine`/`lanes` keys) must keep
+        // gating interpreted 64-lane runs, not compiled ones.
+        let v = serde_json::json!({
+            "v": SCHEMA_VERSION, "ts": 1u64, "git": "x", "kind": "tables-stats",
+            "netlist": "n1/g2/d3", "threads": 8u64, "faults": 8000u64,
+            "mlane_cps": 100.0,
+        });
+        let r = LedgerRecord::from_json(&v).unwrap();
+        assert_eq!(r.engine, "interp");
+        assert_eq!(r.lanes, 64);
+    }
+
+    #[test]
+    fn throughput_gate_ignores_different_engines_and_lane_widths() {
+        let cfg = GateConfig::default();
+        let mut compiled = rec("tables-stats", 8, 30.0, Some(92.0));
+        compiled.engine = "compiled".into();
+        compiled.lanes = 256;
+        // A fast compiled baseline followed by a slower interpreted run:
+        // different engines are different experiments, so no throughput
+        // finding (and vice versa — an old interp baseline must not gate
+        // a new compiled run).
+        let records = vec![rec("tables-stats", 8, 100.0, Some(92.0)), compiled.clone()];
+        let rep = check(&records, &cfg);
+        assert!(rep.pass, "{rep:?}");
+        assert!(rep.findings.iter().all(|f| f.metric != "throughput"));
+        // Coverage IS still compared across engines (bit-identical
+        // detections make it comparable).
+        assert!(rep.findings.iter().any(|f| f.metric == "coverage"));
+        // Same engine, different lane width: also incomparable.
+        let mut wide = compiled.clone();
+        wide.lanes = 512;
+        wide.mlane_cps = 10.0;
+        let rep = check(&[compiled, wide].to_vec(), &cfg);
+        assert!(rep.findings.iter().all(|f| f.metric != "throughput"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!
 //! | phase       | code                                               |
 //! |-------------|----------------------------------------------------|
+//! | `compile`   | lowering the netlist into a compiled kernel        |
 //! | `patch`     | clearing the previous batch's faults + injecting   |
 //! | `reset`     | flip-flop reset + testbench begin (overlay epoch)  |
 //! | `eval_early`| netlist evaluation up to the memory-address cut    |
@@ -31,6 +32,9 @@ use serde_json::Value;
 /// One phase of the fault-simulation hot loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProfilePhase {
+    /// One-time lowering of the netlist into a compiled kernel (runs
+    /// once per campaign, near-zero on a kernel-cache hit).
+    Compile,
     /// Fault clear + injection at batch start.
     Patch,
     /// Simulator state reset + testbench begin (overlay epoch bump).
@@ -48,11 +52,12 @@ pub enum ProfilePhase {
 }
 
 /// Number of phases in the taxonomy.
-pub const PROFILE_PHASES: usize = 7;
+pub const PROFILE_PHASES: usize = 8;
 
 impl ProfilePhase {
     /// Every phase, in hot-loop order.
     pub const ALL: [ProfilePhase; PROFILE_PHASES] = [
+        ProfilePhase::Compile,
         ProfilePhase::Patch,
         ProfilePhase::Reset,
         ProfilePhase::EvalEarly,
@@ -65,6 +70,7 @@ impl ProfilePhase {
     /// Stable snake_case name (used in tables, JSON, and metric labels).
     pub fn name(self) -> &'static str {
         match self {
+            ProfilePhase::Compile => "compile",
             ProfilePhase::Patch => "patch",
             ProfilePhase::Reset => "reset",
             ProfilePhase::EvalEarly => "eval_early",

@@ -3,13 +3,15 @@
 //! cost-ratio comparison (deterministic \[7\]\[8\] vs LFSR-based \[6\]).
 
 use fault::campaign::{self, CampaignResult};
+use fault::engine::{EngineConfig, EngineKind};
 use fault::model::FaultList;
 use fault::sim::ParallelSim;
+use fault::wide::WideSim;
 
 use crate::core::ParwanCore;
 use crate::isa::{Cond, ProgramBuilder};
 use crate::model::ParwanModel;
-use crate::testbench::ParwanSelfTestBench;
+use crate::testbench::{ParwanSelfTestBench, ParwanWideSelfTestBench};
 
 /// Response region base.
 pub const RESP: u16 = 0x200;
@@ -262,21 +264,46 @@ pub fn golden_cycles(test: &ParwanSelfTest) -> u64 {
     panic!("parwan self-test never reached its end marker");
 }
 
-/// Fault-simulate a self-test over the (collapsed) fault list, sharded
-/// over `threads` worker threads (0 = auto, see
-/// [`campaign::default_threads`]). Results are bit-identical at every
-/// thread count.
+/// Fault-simulate a self-test on an explicit engine configuration,
+/// sharded over `threads` worker threads (0 = auto, see
+/// [`campaign::default_threads`]). Results are bit-identical across
+/// engines, lane widths, and thread counts.
+pub fn grade_engine(
+    core: &ParwanCore,
+    test: &ParwanSelfTest,
+    faults: &FaultList,
+    threads: usize,
+    engine: EngineConfig,
+) -> CampaignResult {
+    let budget = golden_cycles(test) + 32;
+    let [early, late] = core.segments();
+    let segments = [early.to_vec(), late.to_vec()];
+    match engine.kind {
+        EngineKind::Interp => {
+            let sim = ParallelSim::with_segments(core.netlist(), &segments);
+            let factory = || ParwanSelfTestBench::new(core, &test.image, budget);
+            campaign::run_parallel(&sim, faults, &factory, threads)
+        }
+        EngineKind::Compiled => {
+            let kernel = fault::kernel::compile_cached(core.netlist(), &segments);
+            let proto = WideSim::new(kernel, engine.lane_words, engine.gating);
+            let factory =
+                || ParwanWideSelfTestBench::new(core, &test.image, budget, engine.lane_words);
+            campaign::run_parallel_wide(&proto, faults, &factory, threads)
+        }
+    }
+}
+
+/// Fault-simulate a self-test over the (collapsed) fault list on the
+/// environment-selected engine (`SBST_ENGINE`/`SBST_LANES`; default
+/// compiled, 256 lanes), sharded over `threads` worker threads.
 pub fn grade_threads(
     core: &ParwanCore,
     test: &ParwanSelfTest,
     faults: &FaultList,
     threads: usize,
 ) -> CampaignResult {
-    let budget = golden_cycles(test) + 32;
-    let [early, late] = core.segments();
-    let sim = ParallelSim::with_segments(core.netlist(), &[early.to_vec(), late.to_vec()]);
-    let factory = || ParwanSelfTestBench::new(core, &test.image, budget);
-    campaign::run_parallel(&sim, faults, &factory, threads)
+    grade_engine(core, test, faults, threads, EngineConfig::from_env())
 }
 
 /// [`grade_threads`] with auto thread count.
@@ -386,6 +413,32 @@ mod tests {
             &fault::wave::WaveOptions { probe: vec!["nope".into()], ..Default::default() }
         )
         .is_err());
+    }
+
+    /// The full self-test grading flow must produce identical detection
+    /// sets on both engines (interp 64 lanes vs compiled 128 lanes,
+    /// serial and 4 threads) — the processor-level bit-identical check.
+    #[test]
+    fn grade_engine_matches_across_engines_and_threads() {
+        let core = ParwanCore::build();
+        let faults = FaultList::extract(core.netlist()).collapsed(core.netlist());
+        let test = deterministic_selftest();
+        let reference = grade_engine(&core, &test, &faults, 1, EngineConfig::interp());
+        for threads in [1usize, 4] {
+            for lanes in [64usize, 128] {
+                let res = grade_engine(
+                    &core,
+                    &test,
+                    &faults,
+                    threads,
+                    EngineConfig::compiled(lanes),
+                );
+                assert_eq!(
+                    res.detections, reference.detections,
+                    "compiled {lanes} lanes @ {threads} threads diverged from interp"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Scalar and 64-lane testbenches for the Parwan-class core.
+//! Scalar, 64-lane and multi-word testbenches for the Parwan-class
+//! core.
 
-use fault::campaign::Testbench;
+use fault::campaign::{Testbench, WideTestbench};
 use fault::sim::ParallelSim;
-use netlist::sim::Simulator;
+use fault::wide::{transpose_lanes_wide, WideSim};
+use netlist::sim::{CompiledOrder, Simulator};
 use obs::Tracer;
 use serde_json::Value;
 
@@ -15,17 +17,24 @@ pub struct GateParwan<'a> {
     sim: Simulator,
     /// Memory image (public for checking results).
     pub mem: Vec<u8>,
+    early_prog: CompiledOrder,
+    late_prog: CompiledOrder,
 }
 
 impl<'a> GateParwan<'a> {
-    /// Core in reset with zeroed memory.
+    /// Core in reset with zeroed memory. Both evaluation segments are
+    /// lowered to straight-line compiled programs once, here.
     pub fn new(core: &'a ParwanCore) -> GateParwan<'a> {
-        let mut sim = Simulator::new(core.netlist());
-        sim.reset(core.netlist());
+        let nl = core.netlist();
+        let mut sim = Simulator::new(nl);
+        sim.reset(nl);
+        let [early, late] = core.segments();
         GateParwan {
             core,
             sim,
             mem: vec![0; 4096],
+            early_prog: CompiledOrder::compile(nl, early),
+            late_prog: CompiledOrder::compile(nl, late),
         }
     }
 
@@ -37,8 +46,7 @@ impl<'a> GateParwan<'a> {
     /// One clock cycle.
     pub fn cycle(&mut self) -> BusCycle {
         let nl = self.core.netlist();
-        let [early, late] = self.core.segments();
-        self.sim.eval_segment(nl, early);
+        self.sim.eval_compiled(&self.early_prog);
         let addr = (self.sim.output_word(nl, "mem_addr") & 0xFFF) as u16;
         let we = self.sim.output_word(nl, "mem_we") == 1;
         let wdata = self.sim.output_word(nl, "mem_wdata") as u8;
@@ -47,7 +55,7 @@ impl<'a> GateParwan<'a> {
             self.mem[addr as usize] = wdata;
         }
         self.sim.set_input_word(nl, "mem_rdata", rdata as u64);
-        self.sim.eval_segment(nl, late);
+        self.sim.eval_compiled(&self.late_prog);
         self.sim.clock(nl);
         BusCycle {
             addr,
@@ -181,6 +189,121 @@ impl Testbench for ParwanSelfTestBench<'_> {
             }
         }
         diff
+    }
+
+    fn cycles(&self) -> u64 {
+        self.budget
+    }
+}
+
+/// The compiled-engine sibling of [`ParwanSelfTestBench`]: same base
+/// image + generation-tagged overlays, widened to 64 × W lanes. Step
+/// order matches the interpreted bench exactly (eval early → memory →
+/// observe → eval late → clock), so detections are identical at every
+/// lane width.
+pub struct ParwanWideSelfTestBench<'a> {
+    core: &'a ParwanCore,
+    base: Vec<u8>,
+    lanes: usize,
+    ovl_vals: Vec<u8>,
+    ovl_gens: Vec<u32>,
+    gen: u32,
+    budget: u64,
+    scratch: Vec<u64>,
+    bits: Vec<u64>,
+}
+
+impl<'a> ParwanWideSelfTestBench<'a> {
+    /// Create the bench for simulators with `lane_words` u64 words per
+    /// net (must match the [`WideSim`] it will drive).
+    pub fn new(
+        core: &'a ParwanCore,
+        image: &[u8],
+        budget: u64,
+        lane_words: usize,
+    ) -> ParwanWideSelfTestBench<'a> {
+        let mut base = vec![0u8; 4096];
+        base[..image.len()].copy_from_slice(image);
+        let lanes = 64 * lane_words;
+        ParwanWideSelfTestBench {
+            core,
+            base,
+            lanes,
+            ovl_vals: vec![0; lanes * 4096],
+            ovl_gens: vec![0; lanes * 4096],
+            gen: 1,
+            budget,
+            scratch: vec![0; lanes],
+            bits: Vec::new(),
+        }
+    }
+
+    // Overlay entries are word-major (`i * lanes + lane`), unlike the
+    // interpreted bench: lanes mostly follow the golden instruction
+    // stream, so one cycle's accesses cluster on a few addresses whose
+    // entries then share cache lines.
+    fn read(&self, lane: usize, addr: u16) -> u8 {
+        let i = (addr & 0xFFF) as usize;
+        let idx = i * self.lanes + lane;
+        if self.ovl_gens[idx] == self.gen {
+            self.ovl_vals[idx]
+        } else {
+            self.base[i]
+        }
+    }
+
+    fn write(&mut self, lane: usize, addr: u16, wdata: u8) {
+        let idx = (addr & 0xFFF) as usize * self.lanes + lane;
+        self.ovl_vals[idx] = wdata;
+        self.ovl_gens[idx] = self.gen;
+    }
+}
+
+impl WideTestbench for ParwanWideSelfTestBench<'_> {
+    fn begin(&mut self, sim: &mut WideSim) {
+        assert_eq!(
+            sim.lanes(),
+            self.lanes,
+            "bench built for {} lanes, sim has {}",
+            self.lanes,
+            sim.lanes()
+        );
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.ovl_gens.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    fn step(&mut self, sim: &mut WideSim, _cycle: u64, diff: &mut [u64]) {
+        let nl = self.core.netlist();
+        sim.eval_segment(0);
+        let addr_nets = nl.port("mem_addr");
+        let wdata_nets = nl.port("mem_wdata");
+        let we_net = nl.port("mem_we")[0];
+        let w = sim.lane_words();
+        let mut addr = [0u64; 64];
+        let mut wdata = [0u64; 64];
+        for t in 0..w {
+            let we_lanes = sim.net_lanes_word(we_net, t);
+            sim.lane_block(addr_nets, t, &mut addr);
+            if we_lanes != 0 {
+                sim.lane_block(wdata_nets, t, &mut wdata);
+            }
+            for b in 0..64 {
+                let lane = (t << 6) + b;
+                let a = (addr[b] & 0xFFF) as u16;
+                self.scratch[lane] = self.read(lane, a) as u64;
+                if (we_lanes >> b) & 1 == 1 {
+                    self.write(lane, a, wdata[b] as u8);
+                }
+            }
+        }
+        transpose_lanes_wide(&self.scratch, 8, w, &mut self.bits);
+        sim.set_port_bits(nl, "mem_rdata", &self.bits);
+        sim.diff_vs_lane0(self.core.observed_outputs(), diff);
+        sim.eval_segment(1);
+        sim.clock();
     }
 
     fn cycles(&self) -> u64 {

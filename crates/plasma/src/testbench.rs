@@ -1,14 +1,15 @@
 //! Testbenches around the gate-level core: a scalar one for functional
-//! runs and co-simulation, and a 64-lane one for fault-simulation
-//! campaigns.
+//! runs and co-simulation, a 64-lane interpreted one, and a multi-word
+//! compiled-engine one for fault-simulation campaigns.
 
 use std::time::Instant;
 
-use fault::campaign::Testbench;
+use fault::campaign::{Testbench, WideTestbench};
 use fault::sim::ParallelSim;
+use fault::wide::{transpose_lanes_wide, WideSim};
 use mips::iss::{Bus, BusCycle, Memory};
 use mips::Program;
-use netlist::sim::Simulator;
+use netlist::sim::{CompiledOrder, Simulator};
 use obs::{ProfilePhase, Profiler, Tracer};
 use serde_json::Value;
 
@@ -21,18 +22,26 @@ pub struct GateCpu<'a> {
     sim: Simulator,
     mem: Memory,
     cycles: u64,
+    early_prog: CompiledOrder,
+    late_prog: CompiledOrder,
 }
 
 impl<'a> GateCpu<'a> {
     /// Create the testbench with `mem_bytes` of RAM, CPU in reset.
+    /// Both evaluation segments are lowered to straight-line compiled
+    /// programs once, here.
     pub fn new(core: &'a PlasmaCore, mem_bytes: usize) -> GateCpu<'a> {
-        let mut sim = Simulator::new(core.netlist());
-        sim.reset(core.netlist());
+        let nl = core.netlist();
+        let mut sim = Simulator::new(nl);
+        sim.reset(nl);
+        let [early, late] = core.segments();
         GateCpu {
             core,
             sim,
             mem: Memory::new(mem_bytes),
             cycles: 0,
+            early_prog: CompiledOrder::compile(nl, early),
+            late_prog: CompiledOrder::compile(nl, late),
         }
     }
 
@@ -59,15 +68,14 @@ impl<'a> GateCpu<'a> {
     /// Execute one clock cycle and return the bus transaction.
     pub fn cycle(&mut self) -> BusCycle {
         let nl = self.core.netlist();
-        let [early, late] = self.core.segments();
-        self.sim.eval_segment(nl, early);
+        self.sim.eval_compiled(&self.early_prog);
         let addr = self.sim.output_word(nl, "mem_addr") as u32;
         let we = self.sim.output_word(nl, "mem_we") == 1;
         let be = self.sim.output_word(nl, "mem_be") as u8;
         let wdata = self.sim.output_word(nl, "mem_wdata") as u32;
         let rdata = self.mem.access(addr, wdata, we, be);
         self.sim.set_input_word(nl, "mem_rdata", rdata as u64);
-        self.sim.eval_segment(nl, late);
+        self.sim.eval_compiled(&self.late_prog);
         self.sim.clock(nl);
         self.cycles += 1;
         BusCycle {
@@ -312,6 +320,229 @@ impl Testbench for SelfTestBench<'_> {
             }
         }
         diff
+    }
+
+    fn cycles(&self) -> u64 {
+        self.budget
+    }
+}
+
+/// The compiled-engine sibling of [`SelfTestBench`]: the same shared
+/// base image + generation-tagged per-lane write overlay, widened to
+/// 64 × W lanes for [`WideSim`]. Detection semantics are identical —
+/// a fault's verdict depends only on its lane versus lane 0, so
+/// campaigns over this bench match the interpreted bench fault for
+/// fault at every lane width.
+pub struct WideSelfTestBench<'a> {
+    core: &'a PlasmaCore,
+    base: Vec<u32>,
+    mask: usize,
+    lanes: usize,
+    ovl_vals: Vec<u32>,
+    ovl_gens: Vec<u32>,
+    gen: u32,
+    budget: u64,
+    rdata_scratch: Vec<u64>,
+    bits_scratch: Vec<u64>,
+    tracer: Tracer,
+    trace_window: u64,
+    win_diff: [u64; 8],
+    batch_idx: u64,
+    profiler: Profiler,
+}
+
+impl<'a> WideSelfTestBench<'a> {
+    /// Create the bench for simulators with `lane_words` u64 words per
+    /// net (must match the [`WideSim`] it will drive).
+    pub fn new(
+        core: &'a PlasmaCore,
+        program: &Program,
+        mem_bytes: usize,
+        budget: u64,
+        lane_words: usize,
+    ) -> WideSelfTestBench<'a> {
+        let words = (mem_bytes.max(16) / 4).next_power_of_two();
+        let mut base = vec![0u32; words];
+        for (k, &w) in program.words.iter().enumerate() {
+            base[((program.base as usize >> 2) + k) & (words - 1)] = w;
+        }
+        let lanes = 64 * lane_words;
+        WideSelfTestBench {
+            core,
+            base,
+            mask: words - 1,
+            lanes,
+            ovl_vals: vec![0; lanes * words],
+            ovl_gens: vec![0; lanes * words],
+            gen: 1,
+            budget,
+            rdata_scratch: vec![0; lanes],
+            bits_scratch: Vec::new(),
+            tracer: Tracer::disabled(),
+            trace_window: 0,
+            win_diff: [0; 8],
+            batch_idx: 0,
+            profiler: Profiler::disabled(),
+        }
+    }
+
+    /// Attach a cycle-window divergence trace (see
+    /// [`SelfTestBench::with_trace`]).
+    pub fn with_trace(mut self, tracer: Tracer, window: u64) -> Self {
+        self.trace_window = if tracer.enabled() { window.max(1) } else { 0 };
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attach a hot-loop self-profiler (see
+    /// [`SelfTestBench::with_profiler`]).
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    // Overlay entries are word-major (`i * lanes + lane`), unlike the
+    // interpreted bench's lane-major layout: lanes mostly follow the
+    // golden instruction stream, so one cycle's accesses cluster on a
+    // few addresses and their entries share cache lines instead of
+    // landing `words` apart per lane.
+    fn read(&self, lane: usize, addr: u32) -> u32 {
+        let i = (addr as usize >> 2) & self.mask;
+        let idx = i * self.lanes + lane;
+        if self.ovl_gens[idx] == self.gen {
+            self.ovl_vals[idx]
+        } else {
+            self.base[i]
+        }
+    }
+
+    fn write(&mut self, lane: usize, addr: u32, wdata: u32, be: u8) {
+        let i = (addr as usize >> 2) & self.mask;
+        let idx = i * self.lanes + lane;
+        let old = if self.ovl_gens[idx] == self.gen {
+            self.ovl_vals[idx]
+        } else {
+            self.base[i]
+        };
+        let mut m = 0u32;
+        for b in 0..4 {
+            if be & (1 << b) != 0 {
+                m |= 0xFF << (8 * b);
+            }
+        }
+        self.ovl_vals[idx] = (old & !m) | (wdata & m);
+        self.ovl_gens[idx] = self.gen;
+    }
+
+    /// Per-lane overlay access and rdata transpose, over all 64 × W
+    /// lanes. Bus values are gathered one lane word at a time through
+    /// [`WideSim::lane_block`] (a bit-matrix transpose), not one lane
+    /// at a time; the write-data buses are only gathered for words
+    /// with at least one store.
+    #[inline]
+    fn overlay_phase(&mut self, sim: &mut WideSim) {
+        let nl = self.core.netlist();
+        let addr_nets = nl.port("mem_addr");
+        let wdata_nets = nl.port("mem_wdata");
+        let we_net = nl.port("mem_we")[0];
+        let be_nets = nl.port("mem_be");
+        let w = sim.lane_words();
+        let mut addr = [0u64; 64];
+        let mut wdata = [0u64; 64];
+        let mut be = [0u64; 64];
+        for t in 0..w {
+            let we_lanes = sim.net_lanes_word(we_net, t);
+            sim.lane_block(addr_nets, t, &mut addr);
+            if we_lanes != 0 {
+                sim.lane_block(wdata_nets, t, &mut wdata);
+                sim.lane_block(be_nets, t, &mut be);
+            }
+            for b in 0..64 {
+                let lane = (t << 6) + b;
+                let a = addr[b] as u32;
+                if (we_lanes >> b) & 1 == 1 {
+                    self.write(lane, a, wdata[b] as u32, be[b] as u8);
+                }
+                self.rdata_scratch[lane] = self.read(lane, a) as u64;
+            }
+        }
+        transpose_lanes_wide(&self.rdata_scratch, 32, w, &mut self.bits_scratch);
+        sim.set_port_bits(nl, "mem_rdata", &self.bits_scratch);
+    }
+
+    #[inline]
+    fn step_plain(&mut self, sim: &mut WideSim, diff: &mut [u64]) {
+        sim.eval_segment(0);
+        self.overlay_phase(sim);
+        sim.eval_segment(1);
+        sim.diff_vs_lane0(self.core.observed_outputs(), diff);
+        sim.clock();
+    }
+
+    fn step_timed(&mut self, sim: &mut WideSim, diff: &mut [u64]) {
+        let t0 = Instant::now();
+        sim.eval_segment(0);
+        let t1 = Instant::now();
+        self.overlay_phase(sim);
+        let t2 = Instant::now();
+        sim.eval_segment(1);
+        let t3 = Instant::now();
+        sim.diff_vs_lane0(self.core.observed_outputs(), diff);
+        let t4 = Instant::now();
+        sim.clock();
+        let t5 = Instant::now();
+        let p = &self.profiler;
+        p.add_ns(ProfilePhase::EvalEarly, (t1 - t0).as_nanos() as u64);
+        p.add_ns(ProfilePhase::Overlay, (t2 - t1).as_nanos() as u64);
+        p.add_ns(ProfilePhase::EvalLate, (t3 - t2).as_nanos() as u64);
+        p.add_ns(ProfilePhase::Detect, (t4 - t3).as_nanos() as u64);
+        p.add_ns(ProfilePhase::Clock, (t5 - t4).as_nanos() as u64);
+    }
+}
+
+impl WideTestbench for WideSelfTestBench<'_> {
+    fn begin(&mut self, sim: &mut WideSim) {
+        assert_eq!(
+            sim.lanes(),
+            self.lanes,
+            "bench built for {} lanes, sim has {}",
+            self.lanes,
+            sim.lanes()
+        );
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.ovl_gens.fill(0);
+            self.gen = 1;
+        }
+        if self.trace_window != 0 {
+            self.batch_idx += 1;
+            self.win_diff = [0; 8];
+        }
+    }
+
+    fn step(&mut self, sim: &mut WideSim, cycle: u64, diff: &mut [u64]) {
+        if self.profiler.enabled() {
+            self.step_timed(sim, diff);
+        } else {
+            self.step_plain(sim, diff);
+        }
+        if self.trace_window != 0 {
+            for (t, &d) in diff.iter().enumerate() {
+                self.win_diff[t] |= d;
+            }
+            if (cycle + 1) % self.trace_window == 0 {
+                let diverged: u32 = self.win_diff.iter().map(|d| d.count_ones()).sum();
+                self.tracer.event(
+                    "tb_window",
+                    &[
+                        ("batch", Value::U64(self.batch_idx)),
+                        ("cycle", Value::U64(cycle + 1)),
+                        ("diverged", Value::U64(u64::from(diverged))),
+                    ],
+                );
+                self.win_diff = [0; 8];
+            }
+        }
     }
 
     fn cycles(&self) -> u64 {

@@ -6,11 +6,13 @@ use std::path::PathBuf;
 
 use fault::campaign::{self, CampaignHooks, CampaignResult};
 use fault::coverage::{CoverageReport, CoverageTimeline};
+use fault::engine::{EngineConfig, EngineKind};
 use fault::model::FaultList;
 use fault::sim::ParallelSim;
+use fault::wide::WideSim;
 use mips::iss::{Iss, Memory};
-use obs::{MetricRegistry, Profiler, Progress, Tracer};
-use plasma::testbench::SelfTestBench;
+use obs::{MetricRegistry, ProfilePhase, Profiler, Progress, Tracer};
+use plasma::testbench::{SelfTestBench, WideSelfTestBench};
 use plasma::PlasmaCore;
 
 use crate::cost::{CostModel, TestCost};
@@ -61,6 +63,11 @@ pub struct FlowOptions {
     /// [`fault::wave::WaveOptions::out_dir`]. `None` (the default) adds
     /// zero work — campaigns never record.
     pub wave: Option<fault::wave::WaveOptions>,
+    /// Simulation engine + lane width. Defaults to the environment
+    /// (`SBST_ENGINE`/`SBST_LANES`/`SBST_GATING`), which itself
+    /// defaults to the compiled engine at 256 lanes. Detections are
+    /// bit-identical across engines; only throughput differs.
+    pub engine: EngineConfig,
 }
 
 impl Default for FlowOptions {
@@ -77,6 +84,7 @@ impl Default for FlowOptions {
             profile: false,
             metrics: None,
             wave: None,
+            engine: EngineConfig::from_env(),
         }
     }
 }
@@ -234,7 +242,8 @@ pub fn run_campaign_of_threads(
 }
 
 /// [`run_campaign_of_threads`] with observability hooks (trace events +
-/// live progress). Detections are bit-identical with or without hooks.
+/// live progress), on the environment-selected engine. Detections are
+/// bit-identical with or without hooks.
 pub fn run_campaign_of_hooks(
     core: &PlasmaCore,
     program: &mips::Program,
@@ -243,16 +252,68 @@ pub fn run_campaign_of_hooks(
     threads: usize,
     hooks: &CampaignHooks,
 ) -> CampaignResult {
+    run_campaign_of_engine(
+        core,
+        program,
+        faults,
+        budget,
+        threads,
+        hooks,
+        EngineConfig::from_env(),
+    )
+}
+
+/// The engine-dispatching campaign entry: interpreted 64-lane reference
+/// or compiled multi-word kernel, per `engine`. Detections are
+/// bit-identical across engines, lane widths, and thread counts — only
+/// throughput (and batch geometry in the stats) differs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_of_engine(
+    core: &PlasmaCore,
+    program: &mips::Program,
+    faults: &FaultList,
+    budget: u64,
+    threads: usize,
+    hooks: &CampaignHooks,
+    engine: EngineConfig,
+) -> CampaignResult {
     let [early, late] = core.segments();
-    let sim = ParallelSim::with_segments(core.netlist(), &[early.to_vec(), late.to_vec()]);
-    // Each worker's bench shares the hooks' profiler handle, so the
-    // per-cycle phases land in the same profile as the runner's
-    // patch/reset (a disabled handle keeps the plain step path).
-    let factory = || {
-        SelfTestBench::new(core, program, MEM_BYTES, budget)
-            .with_profiler(hooks.profiler.clone())
-    };
-    campaign::run_parallel_with(&sim, faults, &factory, threads, hooks)
+    let segments = [early.to_vec(), late.to_vec()];
+    match engine.kind {
+        EngineKind::Interp => {
+            let sim = ParallelSim::with_segments(core.netlist(), &segments);
+            // Each worker's bench shares the hooks' profiler handle, so
+            // the per-cycle phases land in the same profile as the
+            // runner's patch/reset (a disabled handle keeps the plain
+            // step path).
+            let factory = || {
+                SelfTestBench::new(core, program, MEM_BYTES, budget)
+                    .with_profiler(hooks.profiler.clone())
+            };
+            campaign::run_parallel_with(&sim, faults, &factory, threads, hooks)
+        }
+        EngineKind::Compiled => {
+            let before_compile = hooks.profiler.snapshot();
+            let kernel = {
+                // Cache hits cost a fingerprint walk + map probe; misses
+                // the full lowering pass. Either way it's this phase.
+                let _compile = hooks.profiler.scope(ProfilePhase::Compile);
+                fault::kernel::compile_cached(core.netlist(), &segments)
+            };
+            // The runner's profile window starts after this point, so
+            // fold the lowering cost back into the reported profile.
+            let compile_delta = hooks.profiler.snapshot().since(&before_compile);
+            let proto = WideSim::new(kernel, engine.lane_words, engine.gating);
+            let factory = || {
+                WideSelfTestBench::new(core, program, MEM_BYTES, budget, engine.lane_words)
+                    .with_profiler(hooks.profiler.clone())
+            };
+            let mut result =
+                campaign::run_parallel_wide_with(&proto, faults, &factory, threads, hooks);
+            result.stats.profile.absorb(&compile_delta);
+            result
+        }
+    }
 }
 
 /// [`run_campaign_of_threads`] with auto thread count.
@@ -365,14 +426,18 @@ pub fn run_flow(core: &PlasmaCore, phase: Phase, opts: &FlowOptions) -> FlowRepo
     let selftest = build_program(phase).expect("phase program must assemble");
     let golden = golden_cycles(&selftest);
     let faults = fault_list(core, opts);
-    let hooks = opts.hooks(phase.name(), campaign::batch_count(&faults));
-    let campaign = run_campaign_of_hooks(
+    let hooks = opts.hooks(
+        phase.name(),
+        campaign::batch_count_lanes(&faults, opts.engine.lanes()),
+    );
+    let campaign = run_campaign_of_engine(
         core,
         &selftest.program,
         &faults,
         golden + opts.cycle_margin,
         opts.threads,
         &hooks,
+        opts.engine,
     );
     let coverage = CoverageReport::from_campaign(core.netlist(), &campaign);
     if let Some(reg) = &opts.metrics {
@@ -424,6 +489,9 @@ mod tests {
             timeline_stride: 500,
             profile: true,
             metrics: Some(MetricRegistry::new()),
+            // Pin the engine so the Compile-phase assertion below holds
+            // regardless of SBST_ENGINE in the environment.
+            engine: EngineConfig::compiled(256),
             ..Default::default()
         };
         let report = run_flow(&core, Phase::A, &opts);
@@ -432,6 +500,10 @@ mod tests {
         assert!(!profile.is_empty(), "profile empty despite profile: true");
         assert!(profile.count(obs::ProfilePhase::Overlay) > 0);
         assert!(profile.count(obs::ProfilePhase::EvalEarly) > 0);
+        // ...including the one-time kernel lowering...
+        assert!(profile.count(obs::ProfilePhase::Compile) > 0);
+        assert_eq!(report.campaign.stats.engine, "compiled");
+        assert_eq!(report.campaign.stats.lanes, 256);
         // ...and the registry carries campaign + flow metrics.
         let text = opts.metrics.as_ref().unwrap().to_prometheus();
         assert!(text.contains("sbst_batches_total"), "{text}");

@@ -19,7 +19,12 @@ fn parwan_campaign_identical_across_thread_counts() {
     let test = parwan::sbst::deterministic_selftest();
     let serial = parwan::sbst::grade_threads(&core, &test, &faults, 1);
     assert_eq!(serial.stats.threads, 1);
-    assert_eq!(serial.stats.batches, faults.len().div_ceil(63) as u64);
+    // Batch count follows the engine's lane width (the default engine is
+    // resolved from `SBST_ENGINE`/`SBST_LANES`, so derive, don't assume).
+    assert_eq!(
+        serial.stats.batches,
+        campaign::batch_count_lanes(&faults, serial.stats.lanes as usize)
+    );
     for threads in [2, 5, campaign::default_threads()] {
         let par = parwan::sbst::grade_threads(&core, &test, &faults, threads);
         assert_eq!(
@@ -36,16 +41,20 @@ fn parwan_campaign_identical_across_thread_counts() {
 #[test]
 fn plasma_campaign_identical_serial_vs_parallel() {
     // A small fault sample keeps this fast while still spanning several
-    // batches of the real self-test program on the real core.
+    // batches of the real self-test program on the real core — sized for
+    // the default compiled engine's 256-lane batches.
     let core = plasma::PlasmaCore::build(plasma::PlasmaConfig::default());
     let opts = FlowOptions {
-        fault_sample: Some(300),
+        fault_sample: Some(900),
         ..Default::default()
     };
     let selftest = build_program(Phase::A).expect("assembles");
     let golden = flow::golden_cycles(&selftest);
     let faults = flow::fault_list(&core, &opts);
-    assert!(faults.len() > 126, "need 3+ batches");
+    assert!(
+        faults.len() > 2 * (opts.engine.lanes() - 1),
+        "need 3+ batches"
+    );
     let budget = golden + opts.cycle_margin;
     let serial = flow::run_campaign_threads(&core, &selftest, &faults, budget, 1);
     let par = flow::run_campaign_threads(&core, &selftest, &faults, budget, 3);
