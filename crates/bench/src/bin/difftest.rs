@@ -28,8 +28,9 @@
 //! (`--ledger FILE` overrides, `--no-ledger` disables); `bench --bin
 //! ledger` renders trends and gates regressions. `--metrics-out FILE`
 //! dumps the metric registry (Prometheus text, or a JSON snapshot when
-//! FILE ends in `.json`); `--serve PORT` keeps the process alive
-//! exposing `/metrics` + `/json` on localhost.
+//! FILE ends in `.json`); `--serve PORT` starts the live observatory
+//! *before* the run (dashboard at `/`, `/metrics`, `/json`, `/timeline`,
+//! `/events` SSE, `/trace`) and keeps the process alive afterwards.
 //!
 //! Exit status: 0 clean, 1 a divergence was found (reproducer persisted),
 //! 2 corpus replay regressed.
@@ -60,15 +61,15 @@ fn count_shrink_steps(metrics: Option<&MetricRegistry>, runs: u64) {
 }
 
 /// Epilogue shared by every mode: append exactly one ledger record,
-/// dump/serve the metric registry when asked. Blocks forever under
-/// `--serve`.
+/// dump the metric registry when asked. Blocks forever when the
+/// observatory is serving (it went live before the run).
 fn finish(
     metrics: Option<&MetricRegistry>,
     ledger_path: &std::path::Path,
     no_ledger: bool,
     record: LedgerRecord,
     metrics_out: Option<&std::path::Path>,
-    serve_port: Option<u16>,
+    serving: bool,
 ) {
     if !no_ledger {
         obs::ledger::append(ledger_path, &record).expect("append run ledger");
@@ -91,15 +92,11 @@ fn finish(
             std::fs::write(path, body).expect("write metrics");
             eprintln!("[metrics written to {}]", path.display());
         }
-        if let Some(port) = serve_port {
-            let srv = obs::serve::serve(reg.clone(), port).expect("bind metric server");
-            eprintln!(
-                "[serving http://{}/metrics and /json — ctrl-C to exit]",
-                srv.addr()
-            );
-            loop {
-                std::thread::park();
-            }
+    }
+    if serving {
+        eprintln!("[observatory still serving — ctrl-C to exit]");
+        loop {
+            std::thread::park();
         }
     }
 }
@@ -216,6 +213,35 @@ fn main() -> ExitCode {
         None => Tracer::disabled(),
     };
     let metrics = (metrics_out.is_some() || serve_port.is_some()).then(MetricRegistry::new);
+    let mut events: Option<obs::EventBus> = None;
+    let mut serving = false;
+    if let Some(port) = serve_port {
+        // The observatory goes live *before* the fuzzing run so the
+        // dashboard, SSE stream, and timeline watch it as it happens.
+        let reg = metrics.clone().expect("serve registry");
+        let bus = obs::EventBus::new(1024);
+        events = Some(bus.clone());
+        let timeline =
+            obs::Timeline::start(reg.clone(), std::time::Duration::from_millis(250), 2400);
+        let tp = trace_path.clone();
+        let observatory = obs::Observatory::new(reg)
+            .with_timeline(timeline)
+            .with_events(bus)
+            .with_trace_provider(move || {
+                let jsonl = tp
+                    .as_ref()
+                    .and_then(|p| std::fs::read_to_string(p).ok())
+                    .unwrap_or_default();
+                serde_json::to_string(&obs::traceviz::render(&jsonl, None))
+                    .expect("serialize trace")
+            });
+        let srv = obs::serve::serve_observatory(observatory, port).expect("bind observatory");
+        eprintln!(
+            "[observatory live at http://{}/ — /metrics /json /timeline /events /trace]",
+            srv.addr()
+        );
+        serving = true;
+    }
     eprintln!("building gate-level core...");
     let core = PlasmaCore::build(PlasmaConfig::default());
     let sig = NetlistSig::of(&core);
@@ -233,7 +259,7 @@ fn main() -> ExitCode {
             no_ledger,
             rec,
             metrics_out.as_deref(),
-            serve_port,
+            serving,
         );
         return code;
     }
@@ -242,6 +268,7 @@ fn main() -> ExitCode {
         tracer,
         progress: progress.then(|| Progress::new("difftest", cfg.seeds)),
         metrics: metrics.clone(),
+        events,
     };
 
     let mut status = ExitCode::SUCCESS;
@@ -388,7 +415,7 @@ fn main() -> ExitCode {
         no_ledger,
         rec,
         metrics_out.as_deref(),
-        serve_port,
+        serving,
     );
 
     status

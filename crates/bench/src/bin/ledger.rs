@@ -190,9 +190,12 @@ fn main() -> ExitCode {
             reg.gauge("sbst_ledger_ts", "latest ledger record unix time", &labels)
                 .set(r.ts as f64);
         }
-        let srv = obs::serve::serve(reg, port).expect("bind metric server");
+        let timeline =
+            obs::Timeline::start(reg.clone(), std::time::Duration::from_millis(1000), 2400);
+        let observatory = obs::Observatory::new(reg).with_timeline(timeline);
+        let srv = obs::serve::serve_observatory(observatory, port).expect("bind metric server");
         eprintln!(
-            "[serving http://{}/metrics and /json — ctrl-C to exit]",
+            "[serving http://{}/ — /metrics /json /timeline — ctrl-C to exit]",
             srv.addr()
         );
         loop {

@@ -44,9 +44,15 @@
 //! `--no-ledger` disables). `bench --bin ledger` renders trends and
 //! gates regressions from that file. `--profile` turns on the hot-loop
 //! self-profiler; `--metrics-out FILE` dumps the metric registry
-//! (Prometheus text, or a JSON snapshot when FILE ends in `.json`);
-//! `--serve PORT` keeps the process alive exposing `/metrics` + `/json`
-//! on localhost.
+//! (Prometheus text, or a JSON snapshot when FILE ends in `.json`).
+//!
+//! `--serve PORT` starts the live observatory *before* the campaign
+//! (port 0 picks a free one): a dashboard at `/`, `/metrics` + `/json`
+//! scrapes, `/timeline` ring-buffered series, `/events` SSE, and
+//! `/trace` (Chrome trace-event JSON for ui.perfetto.dev), then keeps
+//! the process alive after the run. `--trace-viz` (implies `--profile`)
+//! also writes `results/TRACE_<mode>.trace.json` at exit. Campaign
+//! results are bit-identical with the observatory on or off.
 //!
 //! Campaign thread count defaults to the `SBST_THREADS` environment
 //! variable, else the machine's available parallelism; coverage numbers
@@ -66,11 +72,30 @@ struct ObsOut {
     no_ledger: bool,
     metrics_out: Option<std::path::PathBuf>,
     serve_port: Option<u16>,
+    /// Write a Perfetto-compatible trace-event JSON at exit
+    /// (`--trace-viz`).
+    trace_viz: bool,
+    /// Mode tag naming the trace artifact (`TRACE_<tag>.trace.json`).
+    tag: &'static str,
+    /// Set once the observatory is live (serve starts *before* the run).
+    serving: bool,
+}
+
+/// Render the tracer's JSONL (if any) plus the registry-exported phase
+/// profile as Chrome trace-event JSON.
+fn render_trace(opts: &RunOptions) -> serde_json::Value {
+    let jsonl = opts
+        .trace_path
+        .as_ref()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .unwrap_or_default();
+    let profile = opts.metrics.as_ref().map(obs::PhaseProfile::from_registry);
+    obs::traceviz::render(&jsonl, profile.as_ref())
 }
 
 /// Epilogue shared by every mode: append exactly one ledger record,
-/// dump/serve the metric registry when asked. Blocks forever under
-/// `--serve`.
+/// dump the metric registry and trace-event JSON when asked. Blocks
+/// forever under `--serve` (the observatory is already live).
 fn finish(opts: &RunOptions, out: &ObsOut, record: Option<LedgerRecord>) {
     if !out.no_ledger {
         let mut rec =
@@ -96,15 +121,19 @@ fn finish(opts: &RunOptions, out: &ObsOut, record: Option<LedgerRecord>) {
             std::fs::write(path, body).expect("write metrics");
             eprintln!("[metrics written to {}]", path.display());
         }
-        if let Some(port) = out.serve_port {
-            let srv = obs::serve::serve(reg.clone(), port).expect("bind metric server");
-            eprintln!(
-                "[serving http://{}/metrics and /json — ctrl-C to exit]",
-                srv.addr()
-            );
-            loop {
-                std::thread::park();
-            }
+    }
+    if out.trace_viz {
+        let path = obs::traceviz::trace_json_path(out.tag);
+        obs::traceviz::write_trace(&path, &render_trace(opts)).expect("write trace json");
+        eprintln!(
+            "[perfetto trace written to {} — load in ui.perfetto.dev]",
+            path.display()
+        );
+    }
+    if out.serving {
+        eprintln!("[observatory still serving — ctrl-C to exit]");
+        loop {
+            std::thread::park();
         }
     }
 }
@@ -125,6 +154,9 @@ fn main() {
         no_ledger: false,
         metrics_out: None,
         serve_port: None,
+        trace_viz: false,
+        tag: "run",
+        serving: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -250,6 +282,7 @@ fn main() {
                         .expect("--serve needs a port"),
                 );
             }
+            "--trace-viz" => out.trace_viz = true,
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
@@ -257,16 +290,58 @@ fn main() {
                      [--threads N] [--engine interp|compiled] [--lanes N[,N..]] \
                      [--verify-interp] [--stats | --report | --escapes] [--progress] \
                      [--profile] [--trace file] [--stride N] [--json file] [--ledger file] \
-                     [--no-ledger] [--metrics-out file] [--serve port] [--wave-fault id] \
-                     [--wave-escapes k] [--wave-pre N] [--wave-post N] [--wave-depth N] \
-                     [--wave-probe specs]"
+                     [--no-ledger] [--metrics-out file] [--serve port] [--trace-viz] \
+                     [--wave-fault id] [--wave-escapes k] [--wave-pre N] [--wave-post N] \
+                     [--wave-depth N] [--wave-probe specs]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if out.metrics_out.is_some() || out.serve_port.is_some() {
+    out.tag = if wave.fault.is_some() || wave.escapes > 0 {
+        "wave"
+    } else if stats {
+        "stats"
+    } else if report {
+        "report"
+    } else if escapes {
+        "escapes"
+    } else {
+        "run"
+    };
+    if out.metrics_out.is_some() || out.serve_port.is_some() || out.trace_viz {
         opts.metrics = Some(MetricRegistry::new());
+    }
+    if out.trace_viz {
+        // The trace-event export draws batch slices and the phase track,
+        // so the tracer and profiler both need to be on.
+        opts.profile = true;
+        if opts.trace_path.is_none() {
+            std::fs::create_dir_all("results").expect("create results dir");
+            opts.trace_path = Some(format!("results/TRACE_{}.jsonl", out.tag).into());
+        }
+    }
+    if let Some(port) = out.serve_port {
+        // The observatory goes live *before* the run so the dashboard,
+        // SSE stream, and timeline watch the campaign as it happens.
+        let reg = opts.metrics.clone().expect("serve registry");
+        let bus = obs::EventBus::new(1024);
+        opts.events = Some(bus.clone());
+        let timeline =
+            obs::Timeline::start(reg.clone(), std::time::Duration::from_millis(250), 2400);
+        let trace_opts = opts.clone();
+        let observatory = obs::Observatory::new(reg)
+            .with_timeline(timeline)
+            .with_events(bus)
+            .with_trace_provider(move || {
+                serde_json::to_string(&render_trace(&trace_opts)).expect("serialize trace")
+            });
+        let srv = obs::serve::serve_observatory(observatory, port).expect("bind observatory");
+        eprintln!(
+            "[observatory live at http://{}/ — /metrics /json /timeline /events /trace]",
+            srv.addr()
+        );
+        out.serving = true;
     }
 
     if wave.fault.is_some() || wave.escapes > 0 {

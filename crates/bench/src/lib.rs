@@ -14,7 +14,7 @@
 
 #![warn(missing_docs)]
 
-use fault::campaign::{self, CampaignResult};
+use fault::campaign::{self, CampaignHooks, CampaignResult};
 use fault::coverage::CoverageReport;
 use fault::model::FaultList;
 use fault::{EngineConfig, EngineKind};
@@ -355,6 +355,9 @@ pub struct RunOptions {
     /// Registry receiving campaign/flow metrics (`--metrics-out`,
     /// `--serve`); cloning shares the underlying store.
     pub metrics: Option<MetricRegistry>,
+    /// Live event bus for the observatory's `/events` SSE route
+    /// (`--serve`); campaign begin/batch/end events land here.
+    pub events: Option<obs::EventBus>,
     /// Simulation engine for campaign-bearing experiments (`--engine`,
     /// `SBST_ENGINE`/`SBST_LANES`).
     pub engine: EngineConfig,
@@ -377,6 +380,7 @@ impl Default for RunOptions {
             trace_path: None,
             profile: false,
             metrics: None,
+            events: None,
             engine: EngineConfig::from_env(),
             lanes_sweep: Vec::new(),
             verify_interp: false,
@@ -394,6 +398,7 @@ impl RunOptions {
             trace_path: self.trace_path.clone(),
             profile: self.profile,
             metrics: self.metrics.clone(),
+            events: self.events.clone(),
             engine: self.engine,
             ..Default::default()
         }
@@ -638,15 +643,27 @@ pub fn table_baselines(core: &PlasmaCore, opts: &RunOptions) -> Experiment {
 
 /// The Section 1 prior-work comparison on the Parwan-class core:
 /// deterministic SBST vs LFSR-expansion SBST.
-pub fn table_parwan() -> Experiment {
+pub fn table_parwan(opts: &RunOptions) -> Experiment {
     let core = parwan::ParwanCore::build();
     let faults = FaultList::extract(core.netlist()).collapsed(core.netlist());
+    let hooks = CampaignHooks {
+        profiler: if opts.profile {
+            obs::Profiler::new()
+        } else {
+            obs::Profiler::disabled()
+        },
+        metrics: opts.metrics.clone(),
+        events: opts.events.clone(),
+        ..Default::default()
+    };
     let det = parwan::sbst::deterministic_selftest();
     let det_cycles = parwan::sbst::golden_cycles(&det);
-    let det_res = parwan::sbst::grade(&core, &det, &faults);
+    let det_res =
+        parwan::sbst::grade_hooks(&core, &det, &faults, opts.threads, opts.engine, &hooks);
     let pr = parwan::sbst::lfsr_selftest(48);
     let pr_cycles = parwan::sbst::golden_cycles(&pr);
-    let pr_res = parwan::sbst::grade(&core, &pr, &faults);
+    let pr_res =
+        parwan::sbst::grade_hooks(&core, &pr, &faults, opts.threads, opts.engine, &hooks);
 
     let mut text = format!(
         "Parwan-class core: {:.0} NAND2, {} collapsed faults\n\n",
@@ -900,7 +917,7 @@ pub fn run_selected(opts: &RunOptions, mut filter: impl FnMut(&str) -> bool) -> 
             "table5" => table_5(core_ref(&mut core), opts),
             "retech" => table_retech(opts),
             "prcomp" => table_baselines(core_ref(&mut core), opts),
-            "parwan" => table_parwan(),
+            "parwan" => table_parwan(opts),
             "optnet" => table_optnet(opts),
             "misr" => table_misr(core_ref(&mut core), opts),
             _ => unreachable!(),
@@ -993,6 +1010,7 @@ pub fn campaign_benchmark(opts: &RunOptions) -> Experiment {
             obs::Profiler::disabled()
         },
         metrics: opts.metrics.clone(),
+        events: opts.events.clone(),
         ..Default::default()
     };
     let combos = opts.engine_sweep();

@@ -63,6 +63,10 @@ pub struct FuzzHooks {
     /// `difftest_seeds_per_sec` gauge. Updates happen at wave
     /// granularity, never inside the lockstep loop.
     pub metrics: Option<MetricRegistry>,
+    /// Live event bus receiving the same `difftest_begin`/`divergence`/
+    /// `wave`/`end` events the tracer logs, for SSE subscribers.
+    /// Bounded drop-oldest: publishing never blocks the wave loop.
+    pub events: Option<obs::EventBus>,
 }
 
 impl Default for FuzzHooks {
@@ -71,6 +75,17 @@ impl Default for FuzzHooks {
             tracer: Tracer::disabled(),
             progress: None,
             metrics: None,
+            events: None,
+        }
+    }
+}
+
+impl FuzzHooks {
+    /// Send one event to the tracer and the live bus (whichever are on).
+    fn emit(&self, kind: &str, fields: &[(&str, Value)]) {
+        self.tracer.event(kind, fields);
+        if let Some(bus) = &self.events {
+            bus.publish(kind, fields);
         }
     }
 }
@@ -140,7 +155,7 @@ pub fn fuzz_plasma(core: &PlasmaCore, cfg: &FuzzConfig, hooks: &FuzzHooks) -> Fu
         body_len: cfg.body_len,
         ..GenConfig::default()
     };
-    hooks.tracer.event(
+    hooks.emit(
         "difftest_begin",
         &[
             ("seeds", Value::U64(cfg.seeds)),
@@ -211,7 +226,7 @@ pub fn fuzz_plasma(core: &PlasmaCore, cfg: &FuzzConfig, hooks: &FuzzHooks) -> Fu
                 .unwrap()
                 .expect("every wave slot is filled");
             if let Some(d) = &outcome.divergence {
-                hooks.tracer.event(
+                hooks.emit(
                     "difftest_divergence",
                     &[
                         ("seed", Value::U64(outcome.seed)),
@@ -234,7 +249,7 @@ pub fn fuzz_plasma(core: &PlasmaCore, cfg: &FuzzConfig, hooks: &FuzzHooks) -> Fu
         wave_idx += 1;
         if cfg.feedback {
             gen_cfg = exercise.reweight(&gen_cfg);
-            hooks.tracer.event(
+            hooks.emit(
                 "difftest_wave",
                 &[
                     ("wave", Value::U64(wave_idx)),
@@ -246,7 +261,7 @@ pub fn fuzz_plasma(core: &PlasmaCore, cfg: &FuzzConfig, hooks: &FuzzHooks) -> Fu
         }
     }
 
-    hooks.tracer.event(
+    hooks.emit(
         "difftest_end",
         &[
             ("seeds", Value::U64(outcomes.len() as u64)),

@@ -40,7 +40,8 @@ use std::time::Instant;
 
 use netlist::Netlist;
 use obs::{
-    LatencyHistogram, MetricRegistry, PhaseProfile, ProfilePhase, Profiler, Progress, Tracer,
+    EventBus, LatencyHistogram, MetricRegistry, PhaseProfile, ProfilePhase, Profiler, Progress,
+    Tracer,
 };
 use serde_json::Value;
 
@@ -214,6 +215,10 @@ pub struct CampaignHooks {
     /// `sbst_faults_detected_total`, a detection-latency histogram, and
     /// a throughput gauge. Updates happen at batch granularity.
     pub metrics: Option<MetricRegistry>,
+    /// Live event bus receiving the same `campaign_begin`/`batch`/
+    /// `campaign_end` events the tracer logs, for SSE subscribers.
+    /// Bounded and drop-oldest: publishing never blocks the batch loop.
+    pub events: Option<EventBus>,
 }
 
 impl CampaignHooks {
@@ -454,10 +459,18 @@ fn run_batch(
     budget
 }
 
-/// Emit the `campaign_begin` event shared by all runners.
+/// Whether per-batch observability events (and therefore batch wall
+/// timing) are wanted: either sink active. Results stay bit-identical
+/// regardless — the timing never feeds back into simulation.
+fn batch_events_on(hooks: &CampaignHooks) -> bool {
+    hooks.tracer.enabled() || hooks.events.is_some()
+}
+
+/// Emit the `campaign_begin` event shared by all runners to the tracer
+/// and the live event bus.
 #[allow(clippy::too_many_arguments)]
 fn trace_campaign_begin(
-    tracer: &Tracer,
+    hooks: &CampaignHooks,
     mode: &str,
     g: SimStats,
     faults: &FaultList,
@@ -465,59 +478,81 @@ fn trace_campaign_begin(
     threads: usize,
     lanes: usize,
 ) {
-    if !tracer.enabled() {
+    if !batch_events_on(hooks) {
         return;
     }
-    tracer.event(
-        "campaign_begin",
-        &[
-            ("mode", Value::String(mode.to_string())),
-            ("faults", Value::U64(faults.len() as u64)),
-            ("batches", Value::U64(batch_count_lanes(faults, lanes))),
-            ("lanes", Value::U64(lanes as u64)),
-            ("budget", Value::U64(budget)),
-            ("threads", Value::U64(threads as u64)),
-            ("nets", Value::U64(g.nets as u64)),
-            ("gates", Value::U64(g.gates as u64)),
-            ("dffs", Value::U64(g.dffs as u64)),
-            ("segments", Value::U64(g.segments as u64)),
-        ],
-    );
+    let fields = [
+        ("mode", Value::String(mode.to_string())),
+        ("faults", Value::U64(faults.len() as u64)),
+        ("batches", Value::U64(batch_count_lanes(faults, lanes))),
+        ("lanes", Value::U64(lanes as u64)),
+        ("budget", Value::U64(budget)),
+        ("threads", Value::U64(threads as u64)),
+        ("nets", Value::U64(g.nets as u64)),
+        ("gates", Value::U64(g.gates as u64)),
+        ("dffs", Value::U64(g.dffs as u64)),
+        ("segments", Value::U64(g.segments as u64)),
+    ];
+    if hooks.tracer.enabled() {
+        hooks.tracer.event("campaign_begin", &fields);
+    }
+    if let Some(bus) = &hooks.events {
+        bus.publish("campaign_begin", &fields);
+    }
 }
 
-/// Emit the per-batch event (both runners; thread id comes from the
-/// tracer).
-fn trace_batch(tracer: &Tracer, batch: usize, out: &[Detection], cycles: u64) {
-    if !tracer.enabled() {
+/// Emit the per-batch event (all runners; the tracer also stamps the
+/// emitting thread's id). `dur_us` is the batch's wall time, measured
+/// only when some sink is listening — it lets the trace exporter draw
+/// batches as slices instead of instants.
+fn trace_batch(
+    hooks: &CampaignHooks,
+    batch: usize,
+    worker: usize,
+    out: &[Detection],
+    cycles: u64,
+    dur_us: Option<u64>,
+) {
+    if !batch_events_on(hooks) {
         return;
     }
     let detected = out.iter().filter(|d| d.is_detected()).count();
-    tracer.event(
-        "batch",
-        &[
-            ("batch", Value::U64(batch as u64)),
-            ("faults", Value::U64(out.len() as u64)),
-            ("cycles", Value::U64(cycles)),
-            ("detected", Value::U64(detected as u64)),
-        ],
-    );
+    let mut fields = vec![
+        ("batch", Value::U64(batch as u64)),
+        ("worker", Value::U64(worker as u64)),
+        ("faults", Value::U64(out.len() as u64)),
+        ("cycles", Value::U64(cycles)),
+        ("detected", Value::U64(detected as u64)),
+    ];
+    if let Some(d) = dur_us {
+        fields.push(("dur_us", Value::U64(d)));
+    }
+    if hooks.tracer.enabled() {
+        hooks.tracer.event("batch", &fields);
+    }
+    if let Some(bus) = &hooks.events {
+        bus.publish("batch", &fields);
+    }
 }
 
-/// Emit the `campaign_end` event and flush the sink.
-fn trace_campaign_end(tracer: &Tracer, stats: &CampaignStats) {
-    if !tracer.enabled() {
+/// Emit the `campaign_end` event and flush the tracer sink.
+fn trace_campaign_end(hooks: &CampaignHooks, stats: &CampaignStats) {
+    if !batch_events_on(hooks) {
         return;
     }
-    tracer.event(
-        "campaign_end",
-        &[
-            ("cycles", Value::U64(stats.cycles_simulated)),
-            ("budget_cycles", Value::U64(stats.budget_cycles)),
-            ("dropped", Value::U64(stats.faults_dropped)),
-            ("wall_us", Value::U64((stats.wall_seconds * 1e6) as u64)),
-        ],
-    );
-    tracer.flush();
+    let fields = [
+        ("cycles", Value::U64(stats.cycles_simulated)),
+        ("budget_cycles", Value::U64(stats.budget_cycles)),
+        ("dropped", Value::U64(stats.faults_dropped)),
+        ("wall_us", Value::U64((stats.wall_seconds * 1e6) as u64)),
+    ];
+    if hooks.tracer.enabled() {
+        hooks.tracer.event("campaign_end", &fields);
+        hooks.tracer.flush();
+    }
+    if let Some(bus) = &hooks.events {
+        bus.publish("campaign_end", &fields);
+    }
 }
 
 /// Run a campaign: simulate every fault in `faults` against the stimulus
@@ -544,7 +579,8 @@ pub fn run_with(
     let counters = hooks.metrics.as_ref().map(BatchCounters::of);
     let mut detections = vec![Detection::Undetected; faults.len()];
     let budget = tb.cycles();
-    trace_campaign_begin(&hooks.tracer, "serial", sim.stats(), faults, budget, 1, 64);
+    trace_campaign_begin(hooks, "serial", sim.stats(), faults, budget, 1, 64);
+    let timing = batch_events_on(hooks);
     let mut cycles = 0u64;
     let mut batches = 0u64;
     for (b, (batch, out)) in faults
@@ -553,10 +589,11 @@ pub fn run_with(
         .zip(detections.chunks_mut(63))
         .enumerate()
     {
+        let tb0 = timing.then(Instant::now);
         let c = run_batch(sim, tb, batch, budget, out, &hooks.profiler);
         cycles += c;
         batches += 1;
-        trace_batch(&hooks.tracer, b, out, c);
+        trace_batch(hooks, b, 0, out, c, tb0.map(|t| t.elapsed().as_micros() as u64));
         if let Some(p) = &hooks.progress {
             p.inc(1);
         }
@@ -586,7 +623,7 @@ pub fn run_with(
         engine: "interp",
         lanes: 64,
     };
-    trace_campaign_end(&hooks.tracer, &stats);
+    trace_campaign_end(hooks, &stats);
     if let Some(p) = &hooks.progress {
         p.finish();
     }
@@ -681,15 +718,8 @@ pub fn run_parallel_with<F: TestbenchFactory>(
     let t0 = Instant::now();
     let profile_start = hooks.profiler.snapshot();
     let budget = factory.create().cycles();
-    trace_campaign_begin(
-        &hooks.tracer,
-        "parallel",
-        proto.stats(),
-        faults,
-        budget,
-        workers,
-        64,
-    );
+    trace_campaign_begin(hooks, "parallel", proto.stats(), faults, budget, workers, 64);
+    let timing = batch_events_on(hooks);
     let mut detections = vec![Detection::Undetected; faults.len()];
     // One uncontended Mutex per batch slice: a worker locks only the
     // batches the cursor hands it, so slices stay disjoint and safe.
@@ -716,6 +746,7 @@ pub fn run_parallel_with<F: TestbenchFactory>(
                             break;
                         }
                         let mut out = slots[b].lock().expect("batch slot poisoned");
+                        let tb0 = timing.then(Instant::now);
                         let c = run_batch(
                             &mut sim,
                             &mut tb,
@@ -726,7 +757,14 @@ pub fn run_parallel_with<F: TestbenchFactory>(
                         );
                         cycles += c;
                         done += 1;
-                        trace_batch(&hooks.tracer, b, &out, c);
+                        trace_batch(
+                            hooks,
+                            b,
+                            w,
+                            &out,
+                            c,
+                            tb0.map(|t| t.elapsed().as_micros() as u64),
+                        );
                         if let Some(p) = &hooks.progress {
                             p.inc(1);
                         }
@@ -767,7 +805,7 @@ pub fn run_parallel_with<F: TestbenchFactory>(
         engine: "interp",
         lanes: 64,
     };
-    trace_campaign_end(&hooks.tracer, &stats);
+    trace_campaign_end(hooks, &stats);
     if let Some(p) = &hooks.progress {
         p.finish();
     }
@@ -953,15 +991,8 @@ pub fn run_wide_with(
     let chunk = lanes - 1;
     let mut detections = vec![Detection::Undetected; faults.len()];
     let budget = tb.cycles();
-    trace_campaign_begin(
-        &hooks.tracer,
-        "serial",
-        sim.stats(),
-        faults,
-        budget,
-        1,
-        lanes,
-    );
+    trace_campaign_begin(hooks, "serial", sim.stats(), faults, budget, 1, lanes);
+    let timing = batch_events_on(hooks);
     let mut cycles = 0u64;
     let mut batches = 0u64;
     for (b, (batch, out)) in faults
@@ -970,10 +1001,11 @@ pub fn run_wide_with(
         .zip(detections.chunks_mut(chunk))
         .enumerate()
     {
+        let tb0 = timing.then(Instant::now);
         let c = run_batch_wide(sim, tb, batch, budget, out, &hooks.profiler);
         cycles += c;
         batches += 1;
-        trace_batch(&hooks.tracer, b, out, c);
+        trace_batch(hooks, b, 0, out, c, tb0.map(|t| t.elapsed().as_micros() as u64));
         if let Some(p) = &hooks.progress {
             p.inc(1);
         }
@@ -1003,7 +1035,7 @@ pub fn run_wide_with(
         engine: "compiled",
         lanes: lanes as u64,
     };
-    trace_campaign_end(&hooks.tracer, &stats);
+    trace_campaign_end(hooks, &stats);
     if let Some(p) = &hooks.progress {
         p.finish();
     }
@@ -1058,15 +1090,8 @@ pub fn run_parallel_wide_with<F: WideTestbenchFactory>(
     let t0 = Instant::now();
     let profile_start = hooks.profiler.snapshot();
     let budget = factory.create().cycles();
-    trace_campaign_begin(
-        &hooks.tracer,
-        "parallel",
-        proto.stats(),
-        faults,
-        budget,
-        workers,
-        lanes,
-    );
+    trace_campaign_begin(hooks, "parallel", proto.stats(), faults, budget, workers, lanes);
+    let timing = batch_events_on(hooks);
     let mut detections = vec![Detection::Undetected; faults.len()];
     let slots: Vec<Mutex<&mut [Detection]>> =
         detections.chunks_mut(chunk).map(Mutex::new).collect();
@@ -1089,6 +1114,7 @@ pub fn run_parallel_wide_with<F: WideTestbenchFactory>(
                             break;
                         }
                         let mut out = slots[b].lock().expect("batch slot poisoned");
+                        let tb0 = timing.then(Instant::now);
                         let c = run_batch_wide(
                             &mut sim,
                             &mut tb,
@@ -1099,7 +1125,14 @@ pub fn run_parallel_wide_with<F: WideTestbenchFactory>(
                         );
                         cycles += c;
                         done += 1;
-                        trace_batch(&hooks.tracer, b, &out, c);
+                        trace_batch(
+                            hooks,
+                            b,
+                            w,
+                            &out,
+                            c,
+                            tb0.map(|t| t.elapsed().as_micros() as u64),
+                        );
                         if let Some(p) = &hooks.progress {
                             p.inc(1);
                         }
@@ -1140,7 +1173,7 @@ pub fn run_parallel_wide_with<F: WideTestbenchFactory>(
         engine: "compiled",
         lanes: lanes as u64,
     };
-    trace_campaign_end(&hooks.tracer, &stats);
+    trace_campaign_end(hooks, &stats);
     if let Some(p) = &hooks.progress {
         p.finish();
     }

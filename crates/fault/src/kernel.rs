@@ -405,6 +405,27 @@ pub fn cache_counters() -> (u64, u64) {
     (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
 }
 
+/// Mirror the process-lifetime cache counters into `registry` as
+/// `sbst_kernel_cache_hits_total` / `sbst_kernel_cache_misses_total`.
+/// Registry counters are monotonic, so this publishes the delta since
+/// the last export — calling it repeatedly (e.g. once per campaign)
+/// converges the registry on the process totals without double-counting.
+pub fn export_cache_metrics(registry: &obs::MetricRegistry) {
+    let (hits, misses) = cache_counters();
+    let h = registry.counter(
+        "sbst_kernel_cache_hits_total",
+        "Compiled-kernel cache hits (structural fingerprint reuse)",
+        &[],
+    );
+    let m = registry.counter(
+        "sbst_kernel_cache_misses_total",
+        "Compiled-kernel cache misses (fresh netlist lowerings)",
+        &[],
+    );
+    h.inc(hits.saturating_sub(h.get()));
+    m.inc(misses.saturating_sub(m.get()));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

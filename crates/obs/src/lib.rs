@@ -21,8 +21,16 @@
 //! * [`ledger`] — the append-only schema-versioned run ledger
 //!   (`results/LEDGER.jsonl`) plus trend tables and the perf-regression
 //!   gate that `bench --bin ledger` exposes.
-//! * [`serve`] — a std-`TcpListener` endpoint publishing a registry live
-//!   at `/metrics` (Prometheus) and `/json` during long runs.
+//! * [`events::EventBus`] — a bounded drop-oldest broadcast queue for
+//!   live campaign events (batch ticks, detections, divergences);
+//!   publishers never block, lagging subscribers skip ahead.
+//! * [`timeline::Timeline`] — a periodic sampler snapshotting a registry
+//!   into bounded ring-buffered time series for the `/timeline` route.
+//! * [`traceviz`] — Chrome trace-event JSON export (Perfetto-compatible)
+//!   of tracer streams and hot-loop phase profiles.
+//! * [`serve`] — the observatory's std-`TcpListener` HTTP plane: a live
+//!   dashboard at `/`, `/metrics` (Prometheus), `/json`, `/timeline`,
+//!   `/events` (SSE) and `/trace` during long runs.
 //! * [`progress::Progress`] — shared atomic counters plus a rate-limited
 //!   stderr ticker, for watching long campaigns without touching their
 //!   hot loops.
@@ -36,19 +44,25 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod ledger;
 pub mod metrics;
 pub mod profile;
 pub mod progress;
 pub mod registry;
 pub mod serve;
+pub mod timeline;
 pub mod trace;
+pub mod traceviz;
 pub mod wave;
 
+pub use events::EventBus;
 pub use ledger::LedgerRecord;
 pub use metrics::LatencyHistogram;
 pub use profile::{PhaseProfile, ProfilePhase, Profiler};
 pub use progress::Progress;
 pub use registry::{Counter, Gauge, Histogram, MetricRegistry};
+pub use serve::Observatory;
+pub use timeline::Timeline;
 pub use trace::{Span, Tracer};
 pub use wave::{VcdSpec, VcdVar, VcdWriter};

@@ -1,18 +1,40 @@
-//! Minimal live metrics endpoint: a std-`TcpListener` HTTP/1.0 server
-//! good enough for `curl` and a Prometheus scraper during long
-//! campaigns. No dependencies, one thread, one connection at a time —
-//! scrape traffic, not serving traffic.
+//! The observatory's HTTP plane: a std-`TcpListener` HTTP/1.0 server
+//! good enough for `curl`, a Prometheus scraper and one browser tab
+//! during long campaigns. No dependencies; one accept thread plus one
+//! short-lived thread per connection, so a long-lived `/events`
+//! subscriber never blocks a `/metrics` scrape.
 //!
 //! Routes:
 //!
-//! * `GET /metrics` — Prometheus text exposition 0.0.4
-//! * `GET /json`    — the registry's JSON snapshot
-//! * anything else  — 404 with a route listing
+//! * `GET /`         — embedded live dashboard (inline JS, no CDN)
+//! * `GET /metrics`  — Prometheus text exposition 0.0.4
+//! * `GET /json`     — the registry's JSON snapshot
+//! * `GET /timeline` — sampled time series ([`Timeline::to_json`])
+//! * `GET /events`   — Server-Sent Events from the [`EventBus`]
+//! * `GET /trace`    — Chrome trace-event JSON for ui.perfetto.dev
+//! * anything else   — 404 with a route listing
+//!
+//! Hardening: request heads are read into a bounded buffer (8 KiB, 413
+//! beyond that), connections carry read/write timeouts, and a request
+//! line that doesn't parse as `METHOD SP PATH ...` gets a 400 instead of
+//! a silent default route.
 
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
 
+use crate::events::{sse_frame, EventBus};
 use crate::registry::MetricRegistry;
+use crate::timeline::Timeline;
+
+/// Maximum bytes of request head the server will buffer.
+const MAX_REQUEST_BYTES: usize = 8192;
+/// Per-connection socket timeout for the request/response exchange.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// How long `/events` waits for fresh events before emitting a
+/// keep-alive comment.
+const SSE_POLL: Duration = Duration::from_secs(1);
 
 /// Handle to a running metrics server.
 pub struct MetricServer {
@@ -26,67 +48,243 @@ impl MetricServer {
     }
 }
 
-/// Serve `registry` on `127.0.0.1:port` from a detached daemon thread.
-/// Pass port 0 to let the OS pick; read it back from
-/// [`MetricServer::addr`]. The thread lives until process exit — the
-/// bins that use this serve for the duration of the run anyway.
+/// Everything the HTTP plane can expose. The registry is mandatory;
+/// timeline, event stream and trace rendering light up their routes when
+/// attached. Clonable — all parts are shared handles.
+#[derive(Clone)]
+pub struct Observatory {
+    registry: MetricRegistry,
+    timeline: Option<Timeline>,
+    events: Option<EventBus>,
+    trace: Option<Arc<dyn Fn() -> String + Send + Sync>>,
+}
+
+impl Observatory {
+    /// An observatory exposing only `/metrics`, `/json` and the
+    /// dashboard.
+    pub fn new(registry: MetricRegistry) -> Observatory {
+        Observatory {
+            registry,
+            timeline: None,
+            events: None,
+            trace: None,
+        }
+    }
+
+    /// Attach a sampled time-series store, enabling `/timeline`.
+    pub fn with_timeline(mut self, timeline: Timeline) -> Observatory {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// Attach a live event bus, enabling `/events`.
+    pub fn with_events(mut self, events: EventBus) -> Observatory {
+        self.events = Some(events);
+        self
+    }
+
+    /// Attach a trace renderer, enabling `/trace`. The closure runs per
+    /// request, so it always reflects the campaign's current tracer
+    /// output.
+    pub fn with_trace_provider(
+        mut self,
+        provider: impl Fn() -> String + Send + Sync + 'static,
+    ) -> Observatory {
+        self.trace = Some(Arc::new(provider));
+        self
+    }
+}
+
+/// Serve only `registry` on `127.0.0.1:port` — the pre-observatory
+/// interface, kept for scrape-only callers.
 pub fn serve(registry: MetricRegistry, port: u16) -> std::io::Result<MetricServer> {
+    serve_observatory(Observatory::new(registry), port)
+}
+
+/// Serve `obs` on `127.0.0.1:port` from a detached daemon accept thread
+/// (one handler thread per connection). Pass port 0 to let the OS pick;
+/// read it back from [`MetricServer::addr`]. Threads live until process
+/// exit — the bins that use this serve for the duration of the run.
+pub fn serve_observatory(obs: Observatory, port: u16) -> std::io::Result<MetricServer> {
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let addr = listener.local_addr()?;
     std::thread::Builder::new()
         .name("obs-serve".into())
         .spawn(move || {
             for stream in listener.incoming() {
-                let Ok(mut stream) = stream else { continue };
-                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
-                // Read until the end of the request headers; a client's
-                // `write!` may arrive as several small segments.
-                let mut buf = [0u8; 2048];
-                let mut n = 0usize;
-                while n < buf.len() && !buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
-                    match stream.read(&mut buf[n..]) {
-                        Ok(0) | Err(_) => break,
-                        Ok(m) => n += m,
-                    }
-                }
-                let request = String::from_utf8_lossy(&buf[..n]);
-                let path = request
-                    .lines()
-                    .next()
-                    .and_then(|l| l.split_whitespace().nth(1))
-                    .unwrap_or("/");
-                let (status, ctype, body) = match path {
-                    "/metrics" => (
-                        "200 OK",
-                        "text/plain; version=0.0.4; charset=utf-8",
-                        registry.to_prometheus(),
-                    ),
-                    "/json" => (
-                        "200 OK",
-                        "application/json",
-                        serde_json::to_string_pretty(&registry.snapshot())
-                            .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
-                    ),
-                    _ => (
-                        "404 Not Found",
-                        "text/plain; charset=utf-8",
-                        "routes: /metrics (Prometheus text), /json (snapshot)\n".to_string(),
-                    ),
-                };
-                let _ = write!(
-                    stream,
-                    "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-                    body.len()
-                );
+                let Ok(stream) = stream else { continue };
+                let obs = obs.clone();
+                let _ = std::thread::Builder::new()
+                    .name("obs-conn".into())
+                    .spawn(move || handle_connection(stream, &obs));
             }
         })?;
     Ok(MetricServer { addr })
 }
 
+/// Read the request head (bounded), route it, write the response.
+fn handle_connection(mut stream: TcpStream, obs: &Observatory) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    // Read until the end of the request headers; a client's `write!`
+    // may arrive as several small segments.
+    let mut buf = [0u8; MAX_REQUEST_BYTES];
+    let mut n = 0usize;
+    let mut complete = false;
+    while n < buf.len() {
+        if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+            complete = true;
+            break;
+        }
+        match stream.read(&mut buf[n..]) {
+            Ok(0) | Err(_) => break,
+            Ok(m) => n += m,
+        }
+    }
+    if n == buf.len() && !complete {
+        respond(
+            &mut stream,
+            "413 Payload Too Large",
+            "text/plain; charset=utf-8",
+            "request head exceeds 8192 bytes\n",
+        );
+        return;
+    }
+    let request = String::from_utf8_lossy(&buf[..n]);
+    // A well-formed request line is `METHOD SP PATH [SP VERSION]`.
+    let mut first = request.lines().next().unwrap_or("").split_whitespace();
+    let (method, target) = match (first.next(), first.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => {
+            respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain; charset=utf-8",
+                "malformed request line\n",
+            );
+            return;
+        }
+    };
+    if method != "GET" && method != "HEAD" {
+        respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+        return;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+
+    if path == "/events" {
+        match &obs.events {
+            Some(bus) => serve_sse(stream, bus),
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no event bus attached to this run\n",
+            ),
+        }
+        return;
+    }
+
+    let (status, ctype, body) = match path {
+        "/" | "/index.html" => (
+            "200 OK",
+            "text/html; charset=utf-8",
+            include_str!("dashboard.html").to_string(),
+        ),
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            obs.registry.to_prometheus(),
+        ),
+        "/json" => (
+            "200 OK",
+            "application/json",
+            serde_json::to_string_pretty(&obs.registry.snapshot())
+                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+        ),
+        "/timeline" => match &obs.timeline {
+            Some(tl) => (
+                "200 OK",
+                "application/json",
+                serde_json::to_string(&tl.to_json())
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+            ),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no timeline attached to this run\n".to_string(),
+            ),
+        },
+        "/trace" => match &obs.trace {
+            Some(render) => ("200 OK", "application/json", render()),
+            None => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no trace renderer attached to this run\n".to_string(),
+            ),
+        },
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "routes: / (dashboard), /metrics (Prometheus text), /json (snapshot), \
+             /timeline (series), /events (SSE), /trace (trace-event JSON)\n"
+                .to_string(),
+        ),
+    };
+    respond(&mut stream, status, ctype, &body);
+}
+
+fn respond(stream: &mut TcpStream, status: &str, ctype: &str, body: &str) {
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+}
+
+/// Stream the event bus over Server-Sent Events until the client goes
+/// away. Each poll timeout emits a comment keep-alive, which doubles as
+/// the disconnect probe; the campaign side never waits on this socket.
+fn serve_sse(mut stream: TcpStream, bus: &EventBus) {
+    // No Content-Length: the stream ends when the connection closes.
+    if write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n"
+    )
+    .is_err()
+    {
+        return;
+    }
+    let mut cursor = 0u64;
+    loop {
+        let fresh = bus.poll_after(cursor, SSE_POLL);
+        if fresh.is_empty() {
+            if stream.write_all(b": keep-alive\n\n").is_err() || stream.flush().is_err() {
+                return;
+            }
+            continue;
+        }
+        for (seq, json) in fresh {
+            cursor = cursor.max(seq);
+            if stream.write_all(sse_frame(&json).as_bytes()).is_err() {
+                return;
+            }
+        }
+        if stream.flush().is_err() {
+            return;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::TcpStream;
+    use serde_json::Value;
+    use std::io::BufRead;
 
     fn get(addr: SocketAddr, path: &str) -> String {
         let mut s = TcpStream::connect(addr).unwrap();
@@ -95,6 +293,17 @@ mod tests {
         s.shutdown(std::net::Shutdown::Write).unwrap();
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn raw(addr: SocketAddr, head: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        // The server may answer (413) and close while we are still
+        // writing; ignore the resulting EPIPE/NotConnected on our side.
+        let _ = s.write_all(head);
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
         out
     }
 
@@ -111,5 +320,76 @@ mod tests {
         assert!(json.contains("requests_total"), "{json}");
         let missing = get(srv.addr(), "/nope");
         assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    }
+
+    #[test]
+    fn serves_dashboard_timeline_and_trace() {
+        let reg = MetricRegistry::new();
+        reg.counter("ticks_total", "ticks", &[]).inc(3);
+        let tl = Timeline::new(reg.clone(), 16);
+        tl.sample();
+        let obs = Observatory::new(reg)
+            .with_timeline(tl)
+            .with_trace_provider(|| "{\"traceEvents\":[]}".to_string());
+        let srv = serve_observatory(obs, 0).unwrap();
+        let home = get(srv.addr(), "/");
+        assert!(home.contains("text/html"), "{home}");
+        assert!(home.contains("SBST campaign observatory"), "{home}");
+        let tl = get(srv.addr(), "/timeline?x=1");
+        assert!(tl.contains("application/json"), "{tl}");
+        assert!(tl.contains("ticks_total"), "{tl}");
+        let trace = get(srv.addr(), "/trace");
+        assert!(trace.contains("traceEvents"), "{trace}");
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_get_http_errors() {
+        let srv = serve(MetricRegistry::new(), 0).unwrap();
+        let bad = raw(srv.addr(), b"NONSENSE\r\n\r\n");
+        assert!(bad.starts_with("HTTP/1.0 400"), "{bad}");
+        let post = raw(srv.addr(), b"POST /metrics HTTP/1.0\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.0 405"), "{post}");
+        let huge = vec![b'A'; MAX_REQUEST_BYTES + 64];
+        let too_big = raw(srv.addr(), &huge);
+        assert!(too_big.starts_with("HTTP/1.0 413"), "{too_big}");
+    }
+
+    #[test]
+    fn sse_route_streams_published_events() {
+        let reg = MetricRegistry::new();
+        let bus = EventBus::new(8);
+        bus.publish("early", &[("n", Value::U64(1))]);
+        let obs = Observatory::new(reg).with_events(bus.clone());
+        let srv = serve_observatory(obs, 0).unwrap();
+
+        let mut s = TcpStream::connect(srv.addr()).unwrap();
+        s.write_all(b"GET /events HTTP/1.0\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(s.try_clone().unwrap());
+        let mut line = String::new();
+        // Headers end at the blank line.
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" {
+                break;
+            }
+            if line.contains("Content-Type") {
+                assert!(line.contains("text/event-stream"), "{line}");
+            }
+        }
+        bus.publish("late", &[("n", Value::U64(2))]);
+        // Collect SSE data lines until both events have arrived.
+        let mut datas = Vec::new();
+        while datas.len() < 2 {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if let Some(rest) = line.strip_prefix("data: ") {
+                datas.push(rest.trim_end().to_string());
+            }
+        }
+        assert!(datas[0].contains("\"ev\":\"early\""), "{}", datas[0]);
+        assert!(datas[1].contains("\"ev\":\"late\""), "{}", datas[1]);
+        drop(reader);
+        let _ = s.shutdown(std::net::Shutdown::Both);
     }
 }

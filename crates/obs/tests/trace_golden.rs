@@ -1,0 +1,77 @@
+//! Golden-file test of the trace-event export.
+//!
+//! The renderer writes keys in a fixed order and the serde_json shim
+//! preserves insertion order, so the serialized trace is byte-stable:
+//! it must match the checked-in fixture exactly. After an intentional
+//! format change, regenerate with `BLESS=1 cargo test -p obs --test
+//! trace_golden`.
+
+use obs::{ProfilePhase, Profiler};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/TRACE_golden.trace.json"
+);
+const GOLDEN: &str = include_str!("golden/TRACE_golden.trace.json");
+
+/// A small two-worker campaign with one `_begin`/`_end` pair, a stray
+/// instant, and a three-phase profile — every event shape the renderer
+/// emits.
+fn sample_trace() -> serde_json::Value {
+    let jsonl = concat!(
+        r#"{"us":0,"tid":1,"ev":"campaign_begin","mode":"parallel","faults":200,"batches":3,"lanes":256,"budget":4000,"threads":2,"nets":90,"gates":60,"dffs":12,"segments":2}"#,
+        "\n",
+        r#"{"us":900,"tid":2,"ev":"batch","batch":0,"worker":0,"faults":128,"cycles":4000,"detected":100,"dur_us":850}"#,
+        "\n",
+        r#"{"us":1100,"tid":3,"ev":"batch","batch":1,"worker":1,"faults":64,"cycles":2000,"detected":60,"dur_us":700}"#,
+        "\n",
+        r#"{"us":1200,"tid":2,"ev":"merge_begin","parts":2}"#,
+        "\n",
+        r#"{"us":1300,"tid":2,"ev":"merge_end","dur_us":100}"#,
+        "\n",
+        r#"{"us":1350,"tid":3,"ev":"tb_window","cycle":4000,"diverged":5}"#,
+        "\n",
+        r#"{"us":1400,"tid":1,"ev":"campaign_end","cycles":6000,"budget_cycles":12000,"dropped":0,"wall_us":1400}"#,
+        "\n",
+    );
+    let profiler = Profiler::new();
+    profiler.add_ns(ProfilePhase::Compile, 2_000_000);
+    profiler.add_ns(ProfilePhase::EvalEarly, 5_000_000);
+    profiler.add_ns(ProfilePhase::Overlay, 1_000_000);
+    let profile = profiler.snapshot();
+    obs::traceviz::render(jsonl, Some(&profile))
+}
+
+#[test]
+fn trace_event_json_matches_golden_fixture() {
+    let mut body = serde_json::to_string(&sample_trace()).expect("serialize");
+    body.push('\n');
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &body).expect("bless golden fixture");
+        return;
+    }
+    assert_eq!(
+        body, GOLDEN,
+        "trace JSON drifted from the golden fixture (BLESS=1 to regenerate)"
+    );
+}
+
+#[test]
+fn golden_fixture_round_trips_through_the_shim() {
+    let trimmed = GOLDEN.trim_end();
+    let v: serde_json::Value = serde_json::from_str(trimmed).expect("golden parses");
+    let again = serde_json::to_string(&v).expect("serialize");
+    assert_eq!(again, trimmed, "round-trip must preserve field order");
+    // Structurally a Chrome trace: an event array where every entry has
+    // a phase, a pid, and both synthetic tracks are present.
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    assert!(events.len() >= 8, "unexpectedly small golden trace");
+    for e in events {
+        assert!(e["ph"].as_str().is_some(), "event without ph: {e:?}");
+        assert!(e["pid"].as_u64().is_some(), "event without pid: {e:?}");
+    }
+    assert!(events
+        .iter()
+        .any(|e| e["args"]["name"].as_str() == Some("hot-loop phases")));
+    assert_eq!(v["displayTimeUnit"].as_str(), Some("ms"));
+}

@@ -2,7 +2,7 @@
 //! core, plus the grading flow — the substrate for the paper's Section 1
 //! cost-ratio comparison (deterministic \[7\]\[8\] vs LFSR-based \[6\]).
 
-use fault::campaign::{self, CampaignResult};
+use fault::campaign::{self, CampaignHooks, CampaignResult};
 use fault::engine::{EngineConfig, EngineKind};
 use fault::model::FaultList;
 use fault::sim::ParallelSim;
@@ -275,21 +275,44 @@ pub fn grade_engine(
     threads: usize,
     engine: EngineConfig,
 ) -> CampaignResult {
+    grade_hooks(core, test, faults, threads, engine, &CampaignHooks::none())
+}
+
+/// [`grade_engine`] with observability hooks: the tracer/progress/event
+/// plumbing of [`fault::campaign::CampaignHooks`], and each worker's
+/// bench shares the hooks' profiler so per-cycle phase times land in the
+/// campaign profile. Detections are bit-identical with hooks on or off.
+pub fn grade_hooks(
+    core: &ParwanCore,
+    test: &ParwanSelfTest,
+    faults: &FaultList,
+    threads: usize,
+    engine: EngineConfig,
+    hooks: &CampaignHooks,
+) -> CampaignResult {
     let budget = golden_cycles(test) + 32;
     let [early, late] = core.segments();
     let segments = [early.to_vec(), late.to_vec()];
     match engine.kind {
         EngineKind::Interp => {
             let sim = ParallelSim::with_segments(core.netlist(), &segments);
-            let factory = || ParwanSelfTestBench::new(core, &test.image, budget);
-            campaign::run_parallel(&sim, faults, &factory, threads)
+            let factory = || {
+                ParwanSelfTestBench::new(core, &test.image, budget)
+                    .with_profiler(hooks.profiler.clone())
+            };
+            campaign::run_parallel_with(&sim, faults, &factory, threads, hooks)
         }
         EngineKind::Compiled => {
-            let kernel = fault::kernel::compile_cached(core.netlist(), &segments);
+            let kernel = {
+                let _compile = hooks.profiler.scope(obs::ProfilePhase::Compile);
+                fault::kernel::compile_cached(core.netlist(), &segments)
+            };
             let proto = WideSim::new(kernel, engine.lane_words, engine.gating);
-            let factory =
-                || ParwanWideSelfTestBench::new(core, &test.image, budget, engine.lane_words);
-            campaign::run_parallel_wide(&proto, faults, &factory, threads)
+            let factory = || {
+                ParwanWideSelfTestBench::new(core, &test.image, budget, engine.lane_words)
+                    .with_profiler(hooks.profiler.clone())
+            };
+            campaign::run_parallel_wide_with(&proto, faults, &factory, threads, hooks)
         }
     }
 }

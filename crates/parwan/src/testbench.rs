@@ -1,11 +1,13 @@
 //! Scalar, 64-lane and multi-word testbenches for the Parwan-class
 //! core.
 
+use std::time::Instant;
+
 use fault::campaign::{Testbench, WideTestbench};
 use fault::sim::ParallelSim;
 use fault::wide::{transpose_lanes_wide, WideSim};
 use netlist::sim::{CompiledOrder, Simulator};
-use obs::Tracer;
+use obs::{ProfilePhase, Profiler, Tracer};
 use serde_json::Value;
 
 use crate::core::ParwanCore;
@@ -90,6 +92,8 @@ pub struct ParwanSelfTestBench<'a> {
     trace_window: u64,
     win_diff: u64,
     batch_idx: u64,
+    // Optional hot-loop self-profiler (see `with_profiler`).
+    profiler: Profiler,
 }
 
 impl<'a> ParwanSelfTestBench<'a> {
@@ -110,7 +114,18 @@ impl<'a> ParwanSelfTestBench<'a> {
             trace_window: 0,
             win_diff: 0,
             batch_idx: 0,
+            profiler: Profiler::disabled(),
         }
+    }
+
+    /// Attach a hot-loop self-profiler: each cycle's wall-time is split
+    /// across the eval/overlay/detect/clock phases (see
+    /// [`obs::ProfilePhase`]), matching the plasma benches'
+    /// attribution. A disabled profiler (the default) keeps the untimed
+    /// step path; detections are identical either way.
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
     }
 
     /// Attach a cycle-window divergence trace: every `window` cycles the
@@ -138,6 +153,59 @@ impl<'a> ParwanSelfTestBench<'a> {
         self.ovl_vals[idx] = wdata;
         self.ovl_gens[idx] = self.gen;
     }
+
+    /// The per-lane memory transaction: read/overlay each lane's byte
+    /// and feed the transposed read data back in.
+    fn mem_phase(&mut self, sim: &mut ParallelSim) {
+        let nl = self.core.netlist();
+        let addr_nets = nl.port("mem_addr");
+        let wdata_nets = nl.port("mem_wdata");
+        let we_lanes = sim.net_lanes(nl.port("mem_we")[0]);
+        for lane in 0..64 {
+            let addr = (sim.lane_word(addr_nets, lane) & 0xFFF) as u16;
+            self.scratch[lane] = self.read(lane, addr) as u64;
+            if (we_lanes >> lane) & 1 == 1 {
+                let wdata = sim.lane_word(wdata_nets, lane) as u8;
+                self.write(lane, addr, wdata);
+            }
+        }
+        fault::sim::transpose_lanes(&self.scratch, 8, &mut self.bits);
+        sim.set_port_bits(nl, "mem_rdata", &self.bits);
+    }
+
+    /// One cycle, untimed — the hot path when profiling is off.
+    #[inline]
+    fn step_plain(&mut self, sim: &mut ParallelSim) -> u64 {
+        sim.eval_segment(0);
+        self.mem_phase(sim);
+        let diff = sim.diff_vs_lane0(self.core.observed_outputs());
+        sim.eval_segment(1);
+        sim.clock();
+        diff
+    }
+
+    /// One cycle with manual `Instant` checkpoints between phases (one
+    /// clock read per phase boundary, not a guard per phase).
+    fn step_timed(&mut self, sim: &mut ParallelSim) -> u64 {
+        let t0 = Instant::now();
+        sim.eval_segment(0);
+        let t1 = Instant::now();
+        self.mem_phase(sim);
+        let t2 = Instant::now();
+        let diff = sim.diff_vs_lane0(self.core.observed_outputs());
+        let t3 = Instant::now();
+        sim.eval_segment(1);
+        let t4 = Instant::now();
+        sim.clock();
+        let t5 = Instant::now();
+        let p = &self.profiler;
+        p.add_ns(ProfilePhase::EvalEarly, (t1 - t0).as_nanos() as u64);
+        p.add_ns(ProfilePhase::Overlay, (t2 - t1).as_nanos() as u64);
+        p.add_ns(ProfilePhase::Detect, (t3 - t2).as_nanos() as u64);
+        p.add_ns(ProfilePhase::EvalLate, (t4 - t3).as_nanos() as u64);
+        p.add_ns(ProfilePhase::Clock, (t5 - t4).as_nanos() as u64);
+        diff
+    }
 }
 
 impl Testbench for ParwanSelfTestBench<'_> {
@@ -156,24 +224,13 @@ impl Testbench for ParwanSelfTestBench<'_> {
     }
 
     fn step(&mut self, sim: &mut ParallelSim, cycle: u64) -> u64 {
-        let nl = self.core.netlist();
-        sim.eval_segment(0);
-        let addr_nets = nl.port("mem_addr");
-        let wdata_nets = nl.port("mem_wdata");
-        let we_lanes = sim.net_lanes(nl.port("mem_we")[0]);
-        for lane in 0..64 {
-            let addr = (sim.lane_word(addr_nets, lane) & 0xFFF) as u16;
-            self.scratch[lane] = self.read(lane, addr) as u64;
-            if (we_lanes >> lane) & 1 == 1 {
-                let wdata = sim.lane_word(wdata_nets, lane) as u8;
-                self.write(lane, addr, wdata);
-            }
-        }
-        fault::sim::transpose_lanes(&self.scratch, 8, &mut self.bits);
-        sim.set_port_bits(nl, "mem_rdata", &self.bits);
-        let diff = sim.diff_vs_lane0(self.core.observed_outputs());
-        sim.eval_segment(1);
-        sim.clock();
+        // One branch per cycle: the timed variant differs only in the
+        // Instant checkpoints between phases, never in what it computes.
+        let diff = if self.profiler.enabled() {
+            self.step_timed(sim)
+        } else {
+            self.step_plain(sim)
+        };
         if self.trace_window != 0 {
             self.win_diff |= diff;
             if (cycle + 1) % self.trace_window == 0 {
@@ -211,6 +268,8 @@ pub struct ParwanWideSelfTestBench<'a> {
     budget: u64,
     scratch: Vec<u64>,
     bits: Vec<u64>,
+    // Optional hot-loop self-profiler (see `with_profiler`).
+    profiler: Profiler,
 }
 
 impl<'a> ParwanWideSelfTestBench<'a> {
@@ -235,7 +294,15 @@ impl<'a> ParwanWideSelfTestBench<'a> {
             budget,
             scratch: vec![0; lanes],
             bits: Vec::new(),
+            profiler: Profiler::disabled(),
         }
+    }
+
+    /// Attach a hot-loop self-profiler (see
+    /// [`ParwanSelfTestBench::with_profiler`]).
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
     }
 
     // Overlay entries are word-major (`i * lanes + lane`), unlike the
@@ -257,27 +324,10 @@ impl<'a> ParwanWideSelfTestBench<'a> {
         self.ovl_vals[idx] = wdata;
         self.ovl_gens[idx] = self.gen;
     }
-}
 
-impl WideTestbench for ParwanWideSelfTestBench<'_> {
-    fn begin(&mut self, sim: &mut WideSim) {
-        assert_eq!(
-            sim.lanes(),
-            self.lanes,
-            "bench built for {} lanes, sim has {}",
-            self.lanes,
-            sim.lanes()
-        );
-        self.gen = self.gen.wrapping_add(1);
-        if self.gen == 0 {
-            self.ovl_gens.fill(0);
-            self.gen = 1;
-        }
-    }
-
-    fn step(&mut self, sim: &mut WideSim, _cycle: u64, diff: &mut [u64]) {
+    /// The per-lane memory transaction, word-block at a time.
+    fn mem_phase(&mut self, sim: &mut WideSim) {
         let nl = self.core.netlist();
-        sim.eval_segment(0);
         let addr_nets = nl.port("mem_addr");
         let wdata_nets = nl.port("mem_wdata");
         let we_net = nl.port("mem_we")[0];
@@ -301,9 +351,63 @@ impl WideTestbench for ParwanWideSelfTestBench<'_> {
         }
         transpose_lanes_wide(&self.scratch, 8, w, &mut self.bits);
         sim.set_port_bits(nl, "mem_rdata", &self.bits);
+    }
+
+    /// One cycle, untimed — the hot path when profiling is off.
+    #[inline]
+    fn step_plain(&mut self, sim: &mut WideSim, diff: &mut [u64]) {
+        sim.eval_segment(0);
+        self.mem_phase(sim);
         sim.diff_vs_lane0(self.core.observed_outputs(), diff);
         sim.eval_segment(1);
         sim.clock();
+    }
+
+    /// One cycle with manual `Instant` checkpoints between phases.
+    fn step_timed(&mut self, sim: &mut WideSim, diff: &mut [u64]) {
+        let t0 = Instant::now();
+        sim.eval_segment(0);
+        let t1 = Instant::now();
+        self.mem_phase(sim);
+        let t2 = Instant::now();
+        sim.diff_vs_lane0(self.core.observed_outputs(), diff);
+        let t3 = Instant::now();
+        sim.eval_segment(1);
+        let t4 = Instant::now();
+        sim.clock();
+        let t5 = Instant::now();
+        let p = &self.profiler;
+        p.add_ns(ProfilePhase::EvalEarly, (t1 - t0).as_nanos() as u64);
+        p.add_ns(ProfilePhase::Overlay, (t2 - t1).as_nanos() as u64);
+        p.add_ns(ProfilePhase::Detect, (t3 - t2).as_nanos() as u64);
+        p.add_ns(ProfilePhase::EvalLate, (t4 - t3).as_nanos() as u64);
+        p.add_ns(ProfilePhase::Clock, (t5 - t4).as_nanos() as u64);
+    }
+}
+
+impl WideTestbench for ParwanWideSelfTestBench<'_> {
+    fn begin(&mut self, sim: &mut WideSim) {
+        assert_eq!(
+            sim.lanes(),
+            self.lanes,
+            "bench built for {} lanes, sim has {}",
+            self.lanes,
+            sim.lanes()
+        );
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            self.ovl_gens.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    fn step(&mut self, sim: &mut WideSim, _cycle: u64, diff: &mut [u64]) {
+        // One branch per cycle, same computation either way.
+        if self.profiler.enabled() {
+            self.step_timed(sim, diff);
+        } else {
+            self.step_plain(sim, diff);
+        }
     }
 
     fn cycles(&self) -> u64 {

@@ -56,6 +56,10 @@ pub struct FlowOptions {
     /// Publish campaign counters, per-component gate-eval counts, and
     /// coverage gauges into this registry (`--metrics-out`/`--serve`).
     pub metrics: Option<MetricRegistry>,
+    /// Publish live `campaign_begin`/`batch`/`campaign_end` events onto
+    /// this bus for SSE subscribers (`--serve`). Bounded drop-oldest:
+    /// publishing never blocks the batch loop.
+    pub events: Option<obs::EventBus>,
     /// Waveform capture (`--wave-fault`/`--wave-escapes`): after the
     /// campaign, replay the selected fault and/or the first `escapes`
     /// undetected faults with a wave probe attached and write
@@ -83,6 +87,7 @@ impl Default for FlowOptions {
             timeline_stride: 0,
             profile: false,
             metrics: None,
+            events: None,
             wave: None,
             engine: EngineConfig::from_env(),
         }
@@ -112,6 +117,7 @@ impl FlowOptions {
                 Profiler::disabled()
             },
             metrics: self.metrics.clone(),
+            events: self.events.clone(),
         }
     }
 }
@@ -294,12 +300,22 @@ pub fn run_campaign_of_engine(
         }
         EngineKind::Compiled => {
             let before_compile = hooks.profiler.snapshot();
+            let compile_t0 = std::time::Instant::now();
             let kernel = {
                 // Cache hits cost a fingerprint walk + map probe; misses
                 // the full lowering pass. Either way it's this phase.
                 let _compile = hooks.profiler.scope(ProfilePhase::Compile);
                 fault::kernel::compile_cached(core.netlist(), &segments)
             };
+            if let Some(reg) = &hooks.metrics {
+                reg.counter(
+                    "sbst_kernel_compile_ns_total",
+                    "Wall time spent in compile_cached (lowering or cache probe)",
+                    &[],
+                )
+                .inc(compile_t0.elapsed().as_nanos() as u64);
+                fault::kernel::export_cache_metrics(reg);
+            }
             // The runner's profile window starts after this point, so
             // fold the lowering cost back into the reported profile.
             let compile_delta = hooks.profiler.snapshot().since(&before_compile);
@@ -537,5 +553,58 @@ mod tests {
         // The timeline's last sample agrees with the final report.
         let tl = report.timeline.as_ref().unwrap();
         assert!((tl.overall.last().unwrap() - report.coverage.overall_pct).abs() < 1e-9);
+    }
+
+    /// The observatory must not perturb the campaign, and its sampled
+    /// series must land on the same final values at every thread count
+    /// — only the timestamps may differ. Runs the same flow at 1 and 4
+    /// workers with a registry + timeline + event bus attached and
+    /// compares the deterministic counters' last samples.
+    #[test]
+    fn timeline_samples_are_thread_count_invariant() {
+        let core = PlasmaCore::build(PlasmaConfig::default());
+        let run = |threads: usize| {
+            let reg = MetricRegistry::new();
+            let tl = obs::Timeline::new(reg.clone(), 64);
+            let opts = FlowOptions {
+                fault_sample: Some(400),
+                threads,
+                metrics: Some(reg),
+                events: Some(obs::EventBus::new(64)),
+                engine: EngineConfig::compiled(256),
+                ..Default::default()
+            };
+            let report = run_flow(&core, Phase::A, &opts);
+            tl.sample();
+            (report, tl)
+        };
+        let (r1, tl1) = run(1);
+        let (r4, tl4) = run(4);
+        assert_eq!(
+            r1.coverage.overall_pct, r4.coverage.overall_pct,
+            "coverage depends on thread count"
+        );
+        for name in [
+            "sbst_batches_total",
+            "sbst_cycles_total",
+            "sbst_faults_detected_total",
+            "sbst_kernel_compile_ns_total", // present, value timing-dependent
+        ] {
+            assert!(
+                tl1.last_value(name, "{}").is_some(),
+                "{name} missing from the threads=1 timeline"
+            );
+        }
+        for name in [
+            "sbst_batches_total",
+            "sbst_cycles_total",
+            "sbst_faults_detected_total",
+        ] {
+            assert_eq!(
+                tl1.last_value(name, "{}"),
+                tl4.last_value(name, "{}"),
+                "{name} differs across thread counts"
+            );
+        }
     }
 }
