@@ -1,0 +1,229 @@
+//! The campaign job daemon: fault-sim-as-a-service over the observatory.
+//!
+//! **Coordinator** (default mode) — boot the Plasma core, mount the job
+//! API on the observatory, and grade shards with in-process workers:
+//!
+//! ```text
+//! server --port 0 --workers 2                 # port 0 picks a free one
+//! server --port 8080 --ledger results/LEDGER.jsonl --lease-ms 60000
+//! ```
+//!
+//! The bound address is announced on stderr
+//! (`[campaign job server listening on http://127.0.0.1:PORT/ ...]`) so
+//! scripts and CI can scrape the port. Submit with curl:
+//!
+//! ```text
+//! curl -d '{"id":"demo","netlist":"<fp>","sample":2000,"shards":4}' \
+//!      http://127.0.0.1:PORT/jobs
+//! curl -N http://127.0.0.1:PORT/events        # live shard progress
+//! curl http://127.0.0.1:PORT/jobs/demo/result # merged report when done
+//! ```
+//!
+//! **Worker process** — claim shards from a coordinator over the same
+//! HTTP API, grade them locally, and post detections back:
+//!
+//! ```text
+//! server --worker --connect http://127.0.0.1:PORT --name w0
+//! server --worker --connect http://127.0.0.1:PORT --oneshot   # drain & exit
+//! ```
+//!
+//! Workers re-prepare jobs deterministically from the claimed spec —
+//! only the spec and shard index travel over the wire, never fault
+//! lists — so their detections merge bit-identically with shards graded
+//! by any other worker.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{client, server::JobServer};
+use fault::campaign::CampaignHooks;
+use plasma::{PlasmaConfig, PlasmaCore};
+use sbst::jobs::{self, CampaignJobSpec, PreparedJob};
+use serde_json::Value;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut port = 0u16;
+    let mut workers = 2usize;
+    let mut ledger: Option<String> = None;
+    let mut lease_ms = 60_000u64;
+    let mut worker_mode = false;
+    let mut connect: Option<String> = None;
+    let mut name = format!("worker-{}", std::process::id());
+    let mut oneshot = false;
+    let mut poll_ms = 100u64;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--port" => {
+                port = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--port needs a port number");
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--workers needs a count");
+            }
+            "--ledger" => ledger = Some(it.next().expect("--ledger needs a path").clone()),
+            "--lease-ms" => {
+                lease_ms = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--lease-ms needs milliseconds");
+            }
+            "--worker" => worker_mode = true,
+            "--connect" => connect = Some(it.next().expect("--connect needs a URL").clone()),
+            "--name" => name = it.next().expect("--name needs a string").clone(),
+            "--oneshot" => oneshot = true,
+            "--poll-ms" => {
+                poll_ms = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--poll-ms needs milliseconds");
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: server [--port N] [--workers N] [--ledger file] [--lease-ms N]\n\
+                     \x20      server --worker --connect URL [--name s] [--oneshot] [--poll-ms N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if worker_mode {
+        let base = connect.unwrap_or_else(|| {
+            eprintln!("--worker needs --connect URL");
+            std::process::exit(2);
+        });
+        std::process::exit(run_worker(&base, &name, oneshot, poll_ms));
+    }
+
+    let core = Arc::new(PlasmaCore::build(PlasmaConfig::default()));
+    let registry = obs::MetricRegistry::new();
+    let bus = obs::EventBus::new(1024);
+    let mut server = JobServer::new(Arc::clone(&core), registry.clone(), bus.clone())
+        .with_lease(Duration::from_millis(lease_ms));
+    if let Some(path) = &ledger {
+        server = server.with_ledger(path);
+    }
+    let server = Arc::new(server);
+    server.spawn_workers(workers);
+
+    let timeline = obs::Timeline::start(registry.clone(), Duration::from_millis(250), 2400);
+    let observatory = obs::Observatory::new(registry)
+        .with_timeline(timeline)
+        .with_events(bus)
+        .with_api(Arc::clone(&server) as Arc<dyn obs::serve::ApiHandler>);
+    let srv = obs::serve::serve_observatory(observatory, port).expect("bind job server");
+    eprintln!(
+        "[campaign job server listening on http://{}/ — netlist {} — POST /jobs, GET /jobs, \
+         /events, /metrics, /json; {} in-process worker(s)]",
+        srv.addr(),
+        server.fingerprint(),
+        workers
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Worker-process loop: claim → (re)prepare → grade → complete. Returns
+/// the process exit code: 0 on a clean `--oneshot` drain or coordinator
+/// shutdown, 1 on protocol errors.
+fn run_worker(base: &str, name: &str, oneshot: bool, poll_ms: u64) -> i32 {
+    let core = PlasmaCore::build(PlasmaConfig::default());
+    let fingerprint = bench::netlist_fingerprint(&core);
+    // Jobs re-prepare deterministically from the claimed spec; cache per
+    // job id so a worker granted several shards prepares once.
+    let mut prepared: HashMap<String, (CampaignJobSpec, PreparedJob)> = HashMap::new();
+    let mut graded = 0u64;
+    let mut connect_failures = 0u32;
+    loop {
+        let claim_body = serde_json::to_string(&serde_json::json!({ "worker": name.to_string() }))
+            .expect("encode claim");
+        let (status, body) = match client::post(base, "/claim", &claim_body) {
+            Ok(r) => {
+                connect_failures = 0;
+                r
+            }
+            Err(e) => {
+                connect_failures += 1;
+                if connect_failures >= 20 {
+                    eprintln!("[{name}] coordinator unreachable ({e}); giving up");
+                    return if graded > 0 { 0 } else { 1 };
+                }
+                std::thread::sleep(Duration::from_millis(poll_ms.max(50)));
+                continue;
+            }
+        };
+        if status != 200 {
+            eprintln!("[{name}] POST /claim → {status}: {body}");
+            return 1;
+        }
+        let doc: Value = match serde_json::from_str(&body) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("[{name}] bad claim response: {e}");
+                return 1;
+            }
+        };
+        if doc["assigned"].as_bool() != Some(true) {
+            if oneshot {
+                eprintln!("[{name}] queue drained after {graded} shard(s); exiting");
+                return 0;
+            }
+            std::thread::sleep(Duration::from_millis(poll_ms));
+            continue;
+        }
+        let job_id = doc["job"].as_str().unwrap_or_default().to_string();
+        let shard = doc["shard"].as_u64().unwrap_or(0) as usize;
+        let (netlist, spec) = match bench::server::spec_from_claim(&doc["spec"]) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("[{name}] bad claim spec for `{job_id}`: {e}");
+                return 1;
+            }
+        };
+        if netlist != fingerprint {
+            eprintln!(
+                "[{name}] claim for netlist {netlist} but this worker builds {fingerprint}; \
+                 refusing"
+            );
+            return 1;
+        }
+        let stale = match prepared.get(&job_id) {
+            Some((s, _)) => *s != spec,
+            None => true,
+        };
+        if stale {
+            let j = jobs::prepare(&core, &spec);
+            prepared.insert(job_id.clone(), (spec, j));
+        }
+        let (spec, job) = &prepared[&job_id];
+        eprintln!(
+            "[{name}] grading shard {shard} of `{job_id}` ({} faults)",
+            job.bounds[shard].1 - job.bounds[shard].0
+        );
+        let result = jobs::run_shard(&core, job, spec, shard, &CampaignHooks::none());
+        let completion = bench::server::completion_json(&job_id, shard, name, &result);
+        let body = serde_json::to_string(&completion).expect("encode completion");
+        match client::post(base, "/complete", &body) {
+            Ok((200, _)) => graded += 1,
+            Ok((status, err)) => {
+                eprintln!("[{name}] POST /complete → {status}: {err}");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("[{name}] POST /complete failed: {e}");
+                return 1;
+            }
+        }
+    }
+}

@@ -138,6 +138,118 @@ fn finish(opts: &RunOptions, out: &ObsOut, record: Option<LedgerRecord>) {
     }
 }
 
+/// `--submit URL`: run this invocation's campaign on a live job server
+/// instead of in-process. The spec mirrors the local options (`--sample`,
+/// `--seed`, `--engine`, `--lanes`, `--threads`) plus `--shards`; the
+/// server's netlist fingerprint is discovered from `GET /jobs`. Returns
+/// the process exit code.
+fn submit_campaign(
+    base: &str,
+    opts: &RunOptions,
+    shards: u64,
+    phase: &str,
+    job_id: Option<String>,
+) -> i32 {
+    let (status, body) = match bench::client::get(base, "/jobs") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot reach job server at {base}: {e}");
+            return 1;
+        }
+    };
+    if status != 200 {
+        eprintln!("GET /jobs → {status}: {body}");
+        return 1;
+    }
+    let netlist = serde_json::from_str(&body)
+        .ok()
+        .and_then(|v: serde_json::Value| v["netlist"].as_str().map(String::from))
+        .unwrap_or_default();
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let id = job_id.unwrap_or_else(|| format!("tables-{}-{epoch}", std::process::id()));
+    let spec = serde_json::json!({
+        "id": id.clone(),
+        "netlist": netlist,
+        "phase": phase.to_string(),
+        "sample": match opts.sample {
+            Some(n) => serde_json::Value::U64(n as u64),
+            None => serde_json::Value::Null,
+        },
+        "seed": opts.seed,
+        "engine": opts.engine.name(),
+        "lanes": opts.engine.lanes() as u64,
+        "threads": opts.threads.max(1) as u64,
+        "shards": shards,
+    });
+    let ack = match bench::client::submit_job(base, &spec) {
+        Ok(ack) => ack,
+        Err((status, err)) => {
+            eprintln!("job submission rejected ({status}): {err}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "[job `{id}` accepted: {} faults over {} shard(s); watching {base}/jobs/{id}]",
+        ack["faults"].as_u64().unwrap_or(0),
+        ack["shards"].as_u64().unwrap_or(0),
+    );
+    let status = match bench::client::wait_job(base, &id, std::time::Duration::from_secs(600)) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("job did not finish: {e}");
+            return 1;
+        }
+    };
+    if status["state"].as_str() != Some("done") {
+        eprintln!(
+            "job `{id}` failed: {}",
+            status["error"].as_str().unwrap_or("unknown error")
+        );
+        return 1;
+    }
+    let result = match bench::client::fetch_result(base, &id) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("result fetch failed: {e}");
+            return 1;
+        }
+    };
+    let conf = &result["conformance"];
+    println!(
+        "==== job {id} — {} shard(s) on {} ====",
+        result["stats"]["shards"].as_u64().unwrap_or(0),
+        base
+    );
+    println!(
+        "phase {}  faults {}  coverage {:.2}%  (weighted {} / {})",
+        conf["phase"].as_str().unwrap_or("?"),
+        conf["faults"].as_u64().unwrap_or(0),
+        conf["coverage_pct"].as_f64().unwrap_or(0.0),
+        conf["total_detected_weighted"].as_u64().unwrap_or(0),
+        conf["total_faults_weighted"].as_u64().unwrap_or(0),
+    );
+    for c in conf["components"].as_array().cloned().unwrap_or_default() {
+        println!(
+            "  {:<24} {:>6}/{:<6} {:>7.2}%",
+            c["name"].as_str().unwrap_or("?"),
+            c["detected"].as_u64().unwrap_or(0),
+            c["total"].as_u64().unwrap_or(0),
+            c["coverage_pct"].as_f64().unwrap_or(0.0),
+        );
+    }
+    let kc = &result["kernel_cache"];
+    eprintln!(
+        "[kernel cache over this job: {} hit(s), {} miss(es), {} ms lowering]",
+        kc["hits_delta"].as_u64().unwrap_or(0),
+        kc["misses_delta"].as_u64().unwrap_or(0),
+        kc["lowering_ns_delta"].as_u64().unwrap_or(0) / 1_000_000,
+    );
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = RunOptions::default();
@@ -147,6 +259,10 @@ fn main() {
     let mut report = false;
     let mut escapes = false;
     let mut stride = 500u64;
+    let mut submit: Option<String> = None;
+    let mut submit_shards = 4u64;
+    let mut submit_phase = "A".to_string();
+    let mut submit_id: Option<String> = None;
     let mut wave = fault::wave::WaveOptions::default();
     let mut out = ObsOut {
         cmd: args.join(" "),
@@ -283,6 +399,21 @@ fn main() {
                 );
             }
             "--trace-viz" => out.trace_viz = true,
+            "--submit" => {
+                submit = Some(it.next().expect("--submit needs a server URL").clone());
+            }
+            "--shards" => {
+                submit_shards = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--shards needs a count");
+            }
+            "--phase" => {
+                submit_phase = it.next().expect("--phase needs A|B|C").clone();
+            }
+            "--job-id" => {
+                submit_id = Some(it.next().expect("--job-id needs an id").clone());
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
@@ -292,11 +423,21 @@ fn main() {
                      [--profile] [--trace file] [--stride N] [--json file] [--ledger file] \
                      [--no-ledger] [--metrics-out file] [--serve port] [--trace-viz] \
                      [--wave-fault id] [--wave-escapes k] [--wave-pre N] [--wave-post N] \
-                     [--wave-depth N] [--wave-probe specs]"
+                     [--wave-depth N] [--wave-probe specs] \
+                     [--submit URL [--shards N] [--phase A|B|C] [--job-id id]]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(base) = submit {
+        std::process::exit(submit_campaign(
+            &base,
+            &opts,
+            submit_shards,
+            &submit_phase,
+            submit_id,
+        ));
     }
     out.tag = if wave.fault.is_some() || wave.escapes > 0 {
         "wave"

@@ -14,6 +14,9 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
+pub mod server;
+
 use fault::campaign::{self, CampaignHooks, CampaignResult};
 use fault::coverage::CoverageReport;
 use fault::model::FaultList;

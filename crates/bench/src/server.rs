@@ -1,0 +1,915 @@
+//! Fault-sim-as-a-service: the campaign **job server** behind the
+//! observatory's HTTP plane.
+//!
+//! The server owns one processor netlist (the Plasma core), an
+//! [`obs::EventBus`] for live progress, and a queue of campaign jobs.
+//! Submission is a `POST /jobs` with a JSON spec naming the netlist by
+//! fingerprint; the server prepares the job deterministically
+//! ([`sbst::jobs::prepare`]), tiles its fault list into contiguous
+//! shards, and lets workers — in-process threads and/or external
+//! `server --worker` processes speaking the same HTTP API — steal
+//! shards from a lease-based scoreboard ([`fault::shard::ShardBoard`]).
+//! Completed shards merge through [`sbst::jobs::merge`] into a result
+//! bit-identical to a single-shot run of the same spec; every finished
+//! job is appended to the run ledger with its shard count (its own
+//! comparability lineage — never gated against single-shot history).
+//!
+//! Routes (all under the observatory, which keeps `/metrics`, `/json`,
+//! `/timeline`, `/events`, `/trace`):
+//!
+//! * `POST /jobs`            — submit; 202 with the job's URLs
+//! * `GET  /jobs`            — list job summaries
+//! * `GET  /jobs/<id>`       — status (shard scoreboard, state)
+//! * `GET  /jobs/<id>/result`— merged result once done (404 before)
+//! * `POST /claim`           — worker processes: claim a shard
+//! * `POST /complete`        — worker processes: deliver a shard result
+//!
+//! Request hardening: malformed JSON → 400, unknown fingerprint → 404,
+//! duplicate job id → 409 (atomic under the job-table lock, so two
+//! racing submitters get exactly one 202), oversized body → 413 (in the
+//! HTTP plane), wrong shard geometry on `/complete` → 400.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use fault::campaign::{CampaignHooks, CampaignResult, CampaignStats, Detection};
+use fault::coverage::CoverageReport;
+use fault::engine::{EngineConfig, EngineKind};
+use fault::shard::{ShardBoard, ShardState};
+use obs::serve::{ApiHandler, ApiRequest, ApiResponse};
+use obs::{EventBus, MetricRegistry};
+use plasma::PlasmaCore;
+use sbst::jobs::{self, CampaignJobSpec, PreparedJob};
+use sbst::phases::Phase;
+use serde_json::{Map, Value};
+
+use crate::netlist_fingerprint;
+
+/// Hard cap on shards per job: far beyond useful (a shard per fault),
+/// small enough that a hostile spec cannot balloon the scoreboard.
+pub const MAX_SHARDS: usize = 4096;
+/// Hard cap on per-shard worker threads a spec may request.
+pub const MAX_THREADS: usize = 64;
+/// Default claim lease: a shard claimed this long ago without a result
+/// is re-issued to the next claimer.
+pub const DEFAULT_LEASE: Duration = Duration::from_secs(60);
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Shards are being claimed and graded.
+    Running,
+    /// All shards merged; the result document is available.
+    Done,
+    /// The merge (or a shard) failed; the message says why.
+    Failed(String),
+}
+
+impl JobState {
+    fn token(&self) -> &'static str {
+        match self {
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One submitted campaign job.
+pub struct Job {
+    /// Client-chosen unique id.
+    pub id: String,
+    /// The parsed spec the job runs.
+    pub spec: CampaignJobSpec,
+    /// Deterministically prepared program/budget/faults/tiling.
+    pub prepared: PreparedJob,
+    board: ShardBoard,
+    parts: Mutex<Vec<Option<CampaignResult>>>,
+    state: Mutex<JobState>,
+    submitted: Instant,
+    submitted_ts: u64,
+    cache_at_submit: (u64, u64, u64),
+    result_json: OnceLock<String>,
+}
+
+impl Job {
+    /// Current state.
+    pub fn state(&self) -> JobState {
+        self.state.lock().unwrap().clone()
+    }
+
+    /// The merged result document, once done.
+    pub fn result_json(&self) -> Option<&str> {
+        self.result_json.get().map(|s| s.as_str())
+    }
+}
+
+/// The job daemon: core registry, job table, shard scheduler, and the
+/// HTTP API ([`ApiHandler`]) the observatory mounts.
+pub struct JobServer {
+    core: Arc<PlasmaCore>,
+    fingerprint: String,
+    registry: MetricRegistry,
+    bus: EventBus,
+    ledger: Option<PathBuf>,
+    lease: Duration,
+    jobs: Mutex<Vec<Arc<Job>>>,
+    wake: Condvar,
+}
+
+impl JobServer {
+    /// A server for `core`, publishing metrics into `registry` and
+    /// progress events onto `bus`.
+    pub fn new(core: Arc<PlasmaCore>, registry: MetricRegistry, bus: EventBus) -> JobServer {
+        let fingerprint = netlist_fingerprint(&core);
+        JobServer {
+            core,
+            fingerprint,
+            registry,
+            bus,
+            ledger: None,
+            lease: DEFAULT_LEASE,
+            jobs: Mutex::new(Vec::new()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Append every completed job to this run ledger.
+    pub fn with_ledger(mut self, path: impl Into<PathBuf>) -> JobServer {
+        self.ledger = Some(path.into());
+        self
+    }
+
+    /// Override the shard-claim lease (tests use milliseconds).
+    pub fn with_lease(mut self, lease: Duration) -> JobServer {
+        self.lease = lease;
+        self
+    }
+
+    /// The fingerprint of the served netlist (what job specs must name).
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The metric registry the server publishes into.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    /// Spawn `n` in-process shard workers. They live until process exit,
+    /// sleeping on a condvar when no shard is claimable — the same
+    /// daemon lifetime as the observatory's accept thread.
+    pub fn spawn_workers(self: &Arc<Self>, n: usize) {
+        for i in 0..n {
+            let srv = Arc::clone(self);
+            let name = format!("local-{i}");
+            let _ = std::thread::Builder::new()
+                .name(format!("shard-worker-{i}"))
+                .spawn(move || loop {
+                    match srv.claim_shard(&name) {
+                        Some((job, shard)) => {
+                            let hooks = CampaignHooks {
+                                metrics: Some(srv.registry.clone()),
+                                ..CampaignHooks::none()
+                            };
+                            let result =
+                                jobs::run_shard(&srv.core, &job.prepared, &job.spec, shard, &hooks);
+                            srv.record_shard(&job, shard, result);
+                        }
+                        None => {
+                            let guard = srv.jobs.lock().unwrap();
+                            let _ = srv
+                                .wake
+                                .wait_timeout(guard, Duration::from_millis(100))
+                                .unwrap();
+                        }
+                    }
+                });
+        }
+    }
+
+    /// Look up a job by id.
+    pub fn job(&self, id: &str) -> Option<Arc<Job>> {
+        self.jobs.lock().unwrap().iter().find(|j| j.id == id).cloned()
+    }
+
+    /// Submit a parsed spec document. Returns the job or an HTTP-ish
+    /// `(status, message)` rejection.
+    pub fn submit(&self, doc: &Value) -> Result<Arc<Job>, (&'static str, String)> {
+        let (id, netlist, spec) =
+            parse_spec(doc).map_err(|e| ("400 Bad Request", e))?;
+        if netlist != self.fingerprint {
+            return Err((
+                "404 Not Found",
+                format!(
+                    "unknown netlist fingerprint `{netlist}` (this server grades `{}`)",
+                    self.fingerprint
+                ),
+            ));
+        }
+        if self.job(&id).is_some() {
+            return Err(("409 Conflict", format!("job id `{id}` already exists")));
+        }
+        // Preparation is pure and can run outside the lock; the
+        // duplicate check is repeated under it so two racing submitters
+        // of the same id get exactly one 202.
+        let prepared = jobs::prepare(&self.core, &spec);
+        let shards = prepared.bounds.len();
+        let job = Arc::new(Job {
+            id: id.clone(),
+            spec,
+            board: ShardBoard::new(shards, self.lease),
+            parts: Mutex::new(vec![None; shards]),
+            state: Mutex::new(JobState::Running),
+            submitted: Instant::now(),
+            submitted_ts: obs::ledger::unix_now(),
+            cache_at_submit: cache_totals(),
+            result_json: OnceLock::new(),
+            prepared,
+        });
+        {
+            let mut jobs = self.jobs.lock().unwrap();
+            if jobs.iter().any(|j| j.id == id) {
+                return Err(("409 Conflict", format!("job id `{id}` already exists")));
+            }
+            jobs.push(Arc::clone(&job));
+            self.wake.notify_all();
+        }
+        self.counter("sbst_server_jobs_submitted_total").inc(1);
+        self.bus.publish(
+            "job_submitted",
+            &[
+                ("job", Value::String(id)),
+                ("shards", Value::U64(shards as u64)),
+                ("faults", Value::U64(job.prepared.faults.len() as u64)),
+            ],
+        );
+        Ok(job)
+    }
+
+    /// Claim the next available shard for `worker` (work stealing:
+    /// oldest running job first, lowest shard first, expired leases
+    /// re-issued). Used by both in-process workers and `POST /claim`.
+    pub fn claim_shard(&self, worker: &str) -> Option<(Arc<Job>, usize)> {
+        let jobs: Vec<Arc<Job>> = self.jobs.lock().unwrap().clone();
+        for job in jobs {
+            if job.state() != JobState::Running {
+                continue;
+            }
+            if let Some(shard) = job.board.claim(worker) {
+                self.counter("sbst_server_shards_claimed_total").inc(1);
+                self.bus.publish(
+                    "shard_claimed",
+                    &[
+                        ("job", Value::String(job.id.clone())),
+                        ("shard", Value::U64(shard as u64)),
+                        ("worker", Value::String(worker.to_string())),
+                    ],
+                );
+                return Some((job, shard));
+            }
+        }
+        None
+    }
+
+    /// Record a completed shard. Returns `false` for a late duplicate
+    /// (the shard was already completed, e.g. after a lease re-issue) —
+    /// the result is dropped, never merged twice.
+    pub fn record_shard(&self, job: &Arc<Job>, shard: usize, result: CampaignResult) -> bool {
+        if !job.board.complete(shard) {
+            self.counter("sbst_server_shards_duplicate_total").inc(1);
+            return false;
+        }
+        job.parts.lock().unwrap()[shard] = Some(result);
+        self.counter("sbst_server_shards_completed_total").inc(1);
+        self.bus.publish(
+            "shard_done",
+            &[
+                ("job", Value::String(job.id.clone())),
+                ("shard", Value::U64(shard as u64)),
+                ("done", Value::U64(job.board.done() as u64)),
+                ("total", Value::U64(job.board.total() as u64)),
+            ],
+        );
+        if job.board.all_done() {
+            self.finalize(job);
+        }
+        true
+    }
+
+    /// Merge a fully-graded job, render its result documents, append the
+    /// ledger record, and publish `job_done`. Idempotent under the state
+    /// lock — two workers finishing the last two shards concurrently
+    /// finalize once.
+    fn finalize(&self, job: &Arc<Job>) {
+        {
+            let mut state = job.state.lock().unwrap();
+            if *state != JobState::Running {
+                return;
+            }
+            // Claim finalization before releasing the lock.
+            *state = JobState::Done;
+        }
+        let parts: Vec<(usize, CampaignResult)> = job
+            .parts
+            .lock()
+            .unwrap()
+            .iter()
+            .enumerate()
+            .filter_map(|(s, r)| r.clone().map(|r| (s, r)))
+            .collect();
+        let merged = match jobs::merge(&job.prepared, &parts) {
+            Ok(m) => m,
+            Err(e) => {
+                *job.state.lock().unwrap() = JobState::Failed(e.clone());
+                self.counter("sbst_server_jobs_failed_total").inc(1);
+                self.bus.publish(
+                    "job_failed",
+                    &[
+                        ("job", Value::String(job.id.clone())),
+                        ("error", Value::String(e)),
+                    ],
+                );
+                return;
+            }
+        };
+        let coverage = CoverageReport::from_campaign(self.core.netlist(), &merged);
+        let conformance = conformance_json(
+            &self.fingerprint,
+            job.spec.phase,
+            job.prepared.budget,
+            &merged,
+            &coverage,
+        );
+        let (h0, m0, l0) = job.cache_at_submit;
+        let (h1, m1, l1) = cache_totals();
+        let mut doc = Map::new();
+        doc.insert("id".into(), Value::String(job.id.clone()));
+        doc.insert("spec".into(), spec_json(&self.fingerprint, &job.spec));
+        doc.insert("conformance".into(), conformance);
+        doc.insert(
+            "stats".into(),
+            serde_json::json!({
+                "batches": merged.stats.batches,
+                "cycles_simulated": merged.stats.cycles_simulated,
+                "faults_dropped": merged.stats.faults_dropped,
+                "wall_seconds": job.submitted.elapsed().as_secs_f64(),
+                "threads": merged.stats.threads as u64,
+                "engine": merged.stats.engine,
+                "lanes": merged.stats.lanes,
+                "shards": job.prepared.bounds.len() as u64,
+            }),
+        );
+        doc.insert(
+            "kernel_cache".into(),
+            serde_json::json!({
+                "hits_delta": h1 - h0,
+                "misses_delta": m1 - m0,
+                "lowering_ns_delta": l1 - l0,
+            }),
+        );
+        let _ = job
+            .result_json
+            .set(serde_json::to_string_pretty(&Value::Object(doc)).unwrap_or_default());
+        fault::kernel::export_cache_metrics(&self.registry);
+        self.registry
+            .gauge("sbst_server_last_job_coverage_pct", "coverage of the last finished job", &[])
+            .set(coverage.overall_pct);
+        self.counter("sbst_server_jobs_completed_total").inc(1);
+        if let Some(path) = &self.ledger {
+            let mut rec =
+                crate::campaign_ledger_record("server-job", &self.core, &merged, Some(coverage.overall_pct));
+            rec.cmd = format!("POST /jobs {}", job.id);
+            rec.shards = job.prepared.bounds.len() as u64;
+            rec.threads = job.spec.threads.max(1) as u64;
+            rec.wall_seconds = job.submitted.elapsed().as_secs_f64();
+            rec.extra
+                .insert("job_id".into(), Value::String(job.id.clone()));
+            rec.extra
+                .insert("submitted_ts".into(), Value::U64(job.submitted_ts));
+            if let Err(e) = obs::ledger::append(path, &rec) {
+                eprintln!("warning: ledger append for job `{}` failed: {e}", job.id);
+            }
+        }
+        self.bus.publish(
+            "job_done",
+            &[
+                ("job", Value::String(job.id.clone())),
+                ("coverage_pct", Value::F64(coverage.overall_pct)),
+                ("faults", Value::U64(merged.faults.len() as u64)),
+            ],
+        );
+    }
+
+    fn counter(&self, name: &'static str) -> obs::Counter {
+        self.registry.counter(name, "campaign job server counter", &[])
+    }
+
+    fn status_json(&self, job: &Job) -> Value {
+        let states: Vec<Value> = job
+            .board
+            .snapshot()
+            .iter()
+            .map(|s| {
+                Value::String(
+                    match s {
+                        ShardState::Pending => "pending",
+                        ShardState::Claimed { .. } => "claimed",
+                        ShardState::Done => "done",
+                    }
+                    .to_string(),
+                )
+            })
+            .collect();
+        let state = job.state();
+        let mut m = Map::new();
+        m.insert("id".into(), Value::String(job.id.clone()));
+        m.insert("state".into(), Value::String(state.token().to_string()));
+        if let JobState::Failed(e) = &state {
+            m.insert("error".into(), Value::String(e.clone()));
+        }
+        m.insert("faults".into(), Value::U64(job.prepared.faults.len() as u64));
+        m.insert("budget".into(), Value::U64(job.prepared.budget));
+        m.insert(
+            "shards".into(),
+            serde_json::json!({
+                "total": job.board.total() as u64,
+                "done": job.board.done() as u64,
+                "states": Value::Array(states),
+            }),
+        );
+        m.insert("spec".into(), spec_json(&self.fingerprint, &job.spec));
+        m.insert("submitted_ts".into(), Value::U64(job.submitted_ts));
+        Value::Object(m)
+    }
+
+    fn handle_submit(&self, req: &ApiRequest) -> ApiResponse {
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(s) => s,
+            Err(_) => {
+                self.reject("400");
+                return err_json("400 Bad Request", "job spec is not UTF-8");
+            }
+        };
+        let doc = match serde_json::from_str(body) {
+            Ok(v) => v,
+            Err(e) => {
+                self.reject("400");
+                return err_json("400 Bad Request", &format!("malformed JSON job spec: {e}"));
+            }
+        };
+        match self.submit(&doc) {
+            Ok(job) => ApiResponse::json(
+                "202 Accepted",
+                serde_json::to_string(&serde_json::json!({
+                    "id": job.id.clone(),
+                    "faults": job.prepared.faults.len() as u64,
+                    "shards": job.prepared.bounds.len() as u64,
+                    "status": format!("/jobs/{}", job.id),
+                    "result": format!("/jobs/{}/result", job.id),
+                }))
+                .unwrap_or_default(),
+            ),
+            Err((status, msg)) => {
+                self.reject(status.split_whitespace().next().unwrap_or("400"));
+                err_json(status, &msg)
+            }
+        }
+    }
+
+    fn reject(&self, code: &str) {
+        self.registry
+            .counter(
+                "sbst_server_jobs_rejected_total",
+                "rejected job-API requests by status code",
+                &[("code", code)],
+            )
+            .inc(1);
+    }
+
+    fn handle_claim(&self, req: &ApiRequest) -> ApiResponse {
+        let worker = std::str::from_utf8(&req.body)
+            .ok()
+            .and_then(|s| serde_json::from_str(s).ok())
+            .and_then(|v: Value| v["worker"].as_str().map(String::from))
+            .unwrap_or_else(|| "anonymous".to_string());
+        match self.claim_shard(&worker) {
+            Some((job, shard)) => {
+                let (lo, hi) = job.prepared.bounds[shard];
+                ApiResponse::ok_json(
+                    serde_json::to_string(&serde_json::json!({
+                        "assigned": true,
+                        "job": job.id.clone(),
+                        "shard": shard as u64,
+                        "lo": lo as u64,
+                        "hi": hi as u64,
+                        "spec": spec_json(&self.fingerprint, &job.spec),
+                    }))
+                    .unwrap_or_default(),
+                )
+            }
+            None => ApiResponse::ok_json("{\"assigned\": false}"),
+        }
+    }
+
+    fn handle_complete(&self, req: &ApiRequest) -> ApiResponse {
+        let doc: Value = match std::str::from_utf8(&req.body)
+            .ok()
+            .and_then(|s| serde_json::from_str(s).ok())
+        {
+            Some(v) => v,
+            None => return err_json("400 Bad Request", "malformed JSON completion"),
+        };
+        let Some(id) = doc["job"].as_str() else {
+            return err_json("400 Bad Request", "completion missing `job`");
+        };
+        let Some(job) = self.job(id) else {
+            return err_json("404 Not Found", &format!("no job `{id}`"));
+        };
+        let Some(shard) = doc["shard"].as_u64().map(|s| s as usize) else {
+            return err_json("400 Bad Request", "completion missing `shard`");
+        };
+        if shard >= job.prepared.bounds.len() {
+            return err_json("400 Bad Request", &format!("shard {shard} out of range"));
+        }
+        let (lo, hi) = job.prepared.bounds[shard];
+        let Some(dets) = doc["detections"].as_array() else {
+            return err_json("400 Bad Request", "completion missing `detections`");
+        };
+        if dets.len() != hi - lo {
+            return err_json(
+                "400 Bad Request",
+                &format!("shard [{lo}, {hi}) needs {} detections, got {}", hi - lo, dets.len()),
+            );
+        }
+        let mut detections = Vec::with_capacity(dets.len());
+        for d in dets {
+            match d.as_i64() {
+                Some(-1) => detections.push(Detection::Undetected),
+                Some(c) if c >= 0 => detections.push(Detection::DetectedAt(c as u64)),
+                _ => return err_json("400 Bad Request", "detections must be -1 or a cycle number"),
+            }
+        }
+        let stats = &doc["stats"];
+        let num = |k: &str| stats[k].as_u64().unwrap_or(0);
+        let result = CampaignResult {
+            faults: job.prepared.faults.slice(lo, hi),
+            stats: CampaignStats {
+                batches: num("batches"),
+                cycles_simulated: num("cycles_simulated"),
+                budget_cycles: num("budget_cycles"),
+                faults_dropped: detections.iter().filter(|d| d.is_detected()).count() as u64,
+                wall_seconds: stats["wall_seconds"].as_f64().unwrap_or(0.0),
+                threads: num("threads").max(1) as usize,
+                engine: match stats["engine"].as_str() {
+                    Some("compiled") => "compiled",
+                    _ => "interp",
+                },
+                lanes: num("lanes").max(64),
+                ..CampaignStats::default()
+            },
+            detections,
+        };
+        let accepted = self.record_shard(&job, shard, result);
+        ApiResponse::ok_json(format!("{{\"accepted\": {accepted}}}"))
+    }
+}
+
+impl ApiHandler for JobServer {
+    fn handle(&self, req: &ApiRequest) -> Option<ApiResponse> {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/jobs") => Some(self.handle_submit(req)),
+            ("POST", "/claim") => Some(self.handle_claim(req)),
+            ("POST", "/complete") => Some(self.handle_complete(req)),
+            ("GET", "/jobs") => {
+                let list: Vec<Value> = self
+                    .jobs
+                    .lock()
+                    .unwrap()
+                    .clone()
+                    .iter()
+                    .map(|j| self.status_json(j))
+                    .collect();
+                Some(ApiResponse::ok_json(
+                    serde_json::to_string_pretty(&serde_json::json!({
+                        "netlist": self.fingerprint.clone(),
+                        "jobs": Value::Array(list),
+                    }))
+                    .unwrap_or_default(),
+                ))
+            }
+            ("GET", path) if path.starts_with("/jobs/") => {
+                let rest = &path["/jobs/".len()..];
+                let (id, want_result) = match rest.strip_suffix("/result") {
+                    Some(id) => (id, true),
+                    None => (rest, false),
+                };
+                let Some(job) = self.job(id) else {
+                    return Some(err_json("404 Not Found", &format!("no job `{id}`")));
+                };
+                if !want_result {
+                    return Some(ApiResponse::ok_json(
+                        serde_json::to_string_pretty(&self.status_json(&job)).unwrap_or_default(),
+                    ));
+                }
+                match (job.state(), job.result_json()) {
+                    (JobState::Done, Some(doc)) => Some(ApiResponse::ok_json(doc.to_string())),
+                    (JobState::Failed(e), _) => {
+                        Some(err_json("500 Internal Server Error", &format!("job failed: {e}")))
+                    }
+                    _ => Some(err_json(
+                        "404 Not Found",
+                        &format!("job `{id}` not finished ({}/{} shards)", job.board.done(), job.board.total()),
+                    )),
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+fn err_json(status: &str, msg: &str) -> ApiResponse {
+    ApiResponse::json(
+        status.to_string(),
+        serde_json::to_string(&serde_json::json!({ "error": msg })).unwrap_or_default(),
+    )
+}
+
+fn cache_totals() -> (u64, u64, u64) {
+    let (h, m) = fault::kernel::cache_counters();
+    (h, m, fault::kernel::cache_lowering_ns())
+}
+
+/// Parse a `POST /jobs` document into `(id, netlist fingerprint, spec)`.
+/// Defaults mirror [`CampaignJobSpec::default`]; unknown keys are
+/// ignored so clients can carry annotations.
+pub fn parse_spec(doc: &Value) -> Result<(String, String, CampaignJobSpec), String> {
+    let o = doc.as_object().ok_or("job spec must be a JSON object")?;
+    let id = o
+        .get("id")
+        .and_then(|v| v.as_str())
+        .filter(|s| !s.is_empty())
+        .ok_or("job spec needs a nonempty string `id`")?
+        .to_string();
+    if id.len() > 128 || !id.chars().all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)) {
+        return Err("job `id` must be ≤128 chars of [A-Za-z0-9._-]".into());
+    }
+    let netlist = o
+        .get("netlist")
+        .and_then(|v| v.as_str())
+        .ok_or("job spec needs a string `netlist` fingerprint")?
+        .to_string();
+    let phase = match o.get("phase").and_then(|v| v.as_str()).unwrap_or("A") {
+        "A" | "a" => Phase::A,
+        "B" | "b" => Phase::B,
+        "C" | "c" => Phase::C,
+        other => return Err(format!("unknown phase `{other}` (want A, B, or C)")),
+    };
+    let fault_sample = match o.get("sample") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or("`sample` must be a non-negative integer or null")? as usize,
+        ),
+    };
+    let seed = match o.get("seed") {
+        None => 0xC0FFEE,
+        Some(v) => v.as_u64().ok_or("`seed` must be a non-negative integer")?,
+    };
+    let cycle_margin = match o.get("cycle_margin") {
+        None => 64,
+        Some(v) => v.as_u64().ok_or("`cycle_margin` must be a non-negative integer")?,
+    };
+    let lanes = match o.get("lanes") {
+        None => 256,
+        Some(v) => v.as_u64().ok_or("`lanes` must be an integer")? as usize,
+    };
+    let engine = match o.get("engine").and_then(|v| v.as_str()).unwrap_or("compiled") {
+        "interp" => EngineConfig::interp(),
+        "compiled" => {
+            if ![64, 128, 256, 512].contains(&lanes) {
+                return Err(format!("unsupported lane count {lanes} (want 64/128/256/512)"));
+            }
+            EngineConfig::compiled(lanes)
+        }
+        other => return Err(format!("unknown engine `{other}` (want interp or compiled)")),
+    };
+    let threads = match o.get("threads") {
+        None => 1,
+        Some(v) => v.as_u64().ok_or("`threads` must be a non-negative integer")? as usize,
+    };
+    if threads > MAX_THREADS {
+        return Err(format!("threads {threads} exceeds the cap of {MAX_THREADS}"));
+    }
+    let shards = match o.get("shards") {
+        None => 1,
+        Some(v) => v.as_u64().ok_or("`shards` must be a positive integer")? as usize,
+    };
+    if shards == 0 || shards > MAX_SHARDS {
+        return Err(format!("shards must be in [1, {MAX_SHARDS}], got {shards}"));
+    }
+    Ok((
+        id,
+        netlist,
+        CampaignJobSpec {
+            phase,
+            fault_sample,
+            seed,
+            cycle_margin,
+            engine,
+            threads,
+            shards,
+        },
+    ))
+}
+
+/// The canonical JSON echo of a spec (what `/claim` ships to worker
+/// processes — everything needed to re-prepare the job byte-identically).
+pub fn spec_json(fingerprint: &str, spec: &CampaignJobSpec) -> Value {
+    serde_json::json!({
+        "netlist": fingerprint.to_string(),
+        "phase": phase_token(spec.phase),
+        "sample": match spec.fault_sample {
+            Some(n) => Value::U64(n as u64),
+            None => Value::Null,
+        },
+        "seed": spec.seed,
+        "cycle_margin": spec.cycle_margin,
+        "engine": match spec.engine.kind {
+            EngineKind::Interp => "interp",
+            EngineKind::Compiled => "compiled",
+        },
+        "lanes": spec.engine.lanes() as u64,
+        "threads": spec.threads as u64,
+        "shards": spec.shards as u64,
+    })
+}
+
+/// Single-letter phase token used in specs and filenames.
+pub fn phase_token(phase: Phase) -> &'static str {
+    match phase {
+        Phase::A => "A",
+        Phase::B => "B",
+        Phase::C => "C",
+    }
+}
+
+/// Encode detections for the wire and the conformance payload: `-1` for
+/// undetected, else the detection cycle.
+pub fn detections_json(detections: &[Detection]) -> Value {
+    Value::Array(
+        detections
+            .iter()
+            .map(|d| match d {
+                Detection::Undetected => Value::I64(-1),
+                Detection::DetectedAt(c) => Value::U64(*c),
+            })
+            .collect(),
+    )
+}
+
+/// The **conformance payload**: everything a campaign's outcome
+/// determines and nothing an execution strategy does. Two runs of the
+/// same spec — single-shot or any shards × threads × engine combination
+/// — must serialize this to identical bytes; the e2e suite holds the
+/// daemon to exactly that.
+pub fn conformance_json(
+    fingerprint: &str,
+    phase: Phase,
+    budget: u64,
+    result: &CampaignResult,
+    coverage: &CoverageReport,
+) -> Value {
+    let components: Vec<Value> = coverage
+        .components
+        .iter()
+        .map(|c| {
+            serde_json::json!({
+                "name": c.name.clone(),
+                "total": c.total,
+                "detected": c.detected,
+                "coverage_pct": c.coverage_pct,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "netlist": fingerprint.to_string(),
+        "phase": phase_token(phase),
+        "budget": budget,
+        "faults": result.faults.len() as u64,
+        "total_uncollapsed": result.faults.total_uncollapsed as u64,
+        "detections": detections_json(&result.detections),
+        "total_faults_weighted": coverage.total_faults,
+        "total_detected_weighted": coverage.total_detected,
+        "coverage_pct": coverage.overall_pct,
+        "components": Value::Array(components),
+    })
+}
+
+/// Build the `POST /complete` body for a graded shard (the worker-
+/// process side of [`JobServer::handle_complete`]).
+pub fn completion_json(job_id: &str, shard: usize, worker: &str, result: &CampaignResult) -> Value {
+    serde_json::json!({
+        "job": job_id.to_string(),
+        "shard": shard as u64,
+        "worker": worker.to_string(),
+        "detections": detections_json(&result.detections),
+        "stats": {
+            "batches": result.stats.batches,
+            "cycles_simulated": result.stats.cycles_simulated,
+            "budget_cycles": result.stats.budget_cycles,
+            "wall_seconds": result.stats.wall_seconds,
+            "threads": result.stats.threads as u64,
+            "engine": result.stats.engine,
+            "lanes": result.stats.lanes,
+        },
+    })
+}
+
+/// Parse the spec object of a `/claim` response back into a
+/// [`CampaignJobSpec`] (the worker-process side of `spec_json`).
+pub fn spec_from_claim(spec: &Value) -> Result<(String, CampaignJobSpec), String> {
+    let mut doc = spec.clone();
+    if let Value::Object(o) = &mut doc {
+        o.insert("id".into(), Value::String("claim".into()));
+    }
+    let (_, netlist, parsed) = parse_spec(&doc)?;
+    Ok((netlist, parsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma::PlasmaConfig;
+
+    fn server() -> Arc<JobServer> {
+        let core = Arc::new(PlasmaCore::build(PlasmaConfig::default()));
+        Arc::new(JobServer::new(
+            core,
+            MetricRegistry::new(),
+            EventBus::new(64),
+        ))
+    }
+
+    fn spec_doc(srv: &JobServer, id: &str, shards: u64) -> Value {
+        serde_json::json!({
+            "id": id.to_string(),
+            "netlist": srv.fingerprint().to_string(),
+            "sample": 120u64,
+            "shards": shards,
+            "engine": "interp",
+        })
+    }
+
+    #[test]
+    fn submit_claim_complete_lifecycle_in_process() {
+        let srv = server();
+        let job = srv.submit(&spec_doc(&srv, "j1", 2)).unwrap();
+        assert_eq!(job.state(), JobState::Running);
+        // Grade both shards through the claim path, like a worker would.
+        while let Some((job, shard)) = srv.claim_shard("t") {
+            let res = jobs::run_shard(&srv.core, &job.prepared, &job.spec, shard, &CampaignHooks::none());
+            assert!(srv.record_shard(&job, shard, res));
+        }
+        assert_eq!(job.state(), JobState::Done);
+        let doc: Value = serde_json::from_str(job.result_json().unwrap()).unwrap();
+        assert!(doc["conformance"]["coverage_pct"].as_f64().unwrap() > 0.0);
+        assert_eq!(doc["stats"]["shards"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn submit_rejections_cover_the_status_codes() {
+        let srv = server();
+        // Unknown fingerprint → 404.
+        let mut bad = spec_doc(&srv, "j1", 1);
+        if let Value::Object(o) = &mut bad {
+            o.insert("netlist".into(), Value::String("n0/g0/d0".into()));
+        }
+        assert_eq!(srv.submit(&bad).map(|_| ()).unwrap_err().0, "404 Not Found");
+        // Bad field → 400.
+        let mut bad = spec_doc(&srv, "j1", 1);
+        if let Value::Object(o) = &mut bad {
+            o.insert("phase".into(), Value::String("Z".into()));
+        }
+        assert_eq!(srv.submit(&bad).map(|_| ()).unwrap_err().0, "400 Bad Request");
+        // Duplicate id → 409.
+        srv.submit(&spec_doc(&srv, "j1", 1)).unwrap();
+        assert_eq!(
+            srv.submit(&spec_doc(&srv, "j1", 2)).map(|_| ()).unwrap_err().0,
+            "409 Conflict"
+        );
+    }
+
+    #[test]
+    fn spec_round_trips_through_claim_encoding() {
+        let (_, _, spec) = parse_spec(&serde_json::json!({
+            "id": "x", "netlist": "n1/g1/d1", "phase": "B", "sample": 500u64,
+            "seed": 7u64, "engine": "compiled", "lanes": 128u64, "threads": 2u64, "shards": 5u64,
+        }))
+        .unwrap();
+        let (netlist, back) = spec_from_claim(&spec_json("n1/g1/d1", &spec)).unwrap();
+        assert_eq!(netlist, "n1/g1/d1");
+        assert_eq!(back, spec);
+    }
+}

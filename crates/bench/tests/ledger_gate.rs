@@ -150,6 +150,64 @@ fn append_degraded_forces_a_gate_failure() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Regression test for the shard-count comparability fix: a sharded
+/// daemon run whose wall-clock throughput differs wildly from the
+/// single-shot lineage must NOT gate against it — the shard count is
+/// part of both comparability keys, so each shard count forms its own
+/// baseline. Before the fix, a 4-shard server job comparing against a
+/// 1-shard `tables` baseline tripped (or masked) the throughput gate.
+#[test]
+fn gate_never_compares_across_shard_counts() {
+    let dir = scratch("shards");
+    let ledger_path = dir.join("LEDGER.jsonl");
+    // Single-shot lineage: steady.
+    ledger::append(&ledger_path, &record(1000, 2.50, 93.3)).unwrap();
+    ledger::append(&ledger_path, &record(2000, 2.50, 93.3)).unwrap();
+    // A 4-shard run of the same netlist/faults/threads at a fraction of
+    // the single-shot throughput (per-shard wall clock differs): must
+    // start its own lineage, not regress the 1-shard baseline.
+    let mut sharded = record(3000, 0.80, 93.3);
+    sharded.shards = 4;
+    ledger::append(&ledger_path, &sharded).unwrap();
+
+    let out = Command::new(bin())
+        .args(["--ledger"])
+        .arg(&ledger_path)
+        .args(["--json"])
+        .arg(dir.join("t.json"))
+        .arg("--check")
+        .output()
+        .expect("run ledger bin");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "sharded run must not gate against single-shot:\n{stdout}"
+    );
+
+    // Within the 4-shard lineage the gate still bites: a big drop
+    // against the 4-shard baseline fails even though the 1-shard
+    // lineage is steady.
+    let mut slower = record(4000, 0.40, 93.3); // -50% vs the 4-shard run
+    slower.shards = 4;
+    ledger::append(&ledger_path, &slower).unwrap();
+    let out = Command::new(bin())
+        .args(["--ledger"])
+        .arg(&ledger_path)
+        .args(["--json"])
+        .arg(dir.join("t.json"))
+        .arg("--check")
+        .output()
+        .expect("run ledger bin");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "4-shard lineage must gate itself:\n{stdout}"
+    );
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn unknown_flag_exits_with_usage_error() {
     let out = Command::new(bin())

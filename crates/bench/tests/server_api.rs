@@ -1,0 +1,169 @@
+//! Request-hardening suite for the campaign job server's HTTP API, over
+//! real sockets against the real `server` binary: every malformed or
+//! conflicting submission is rejected with the right status code, and a
+//! duplicate-id submit race between two live clients runs the job
+//! exactly once — no lost shards, no double-graded shards.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{metric_value, metrics, run_job, spawn_server, spec};
+use serde_json::Value;
+
+/// One server shared by the rejection tests (each uses distinct job
+/// ids); booting the binary costs ~a second, the requests milliseconds.
+#[test]
+fn rejections_carry_the_right_status_codes() {
+    let srv = spawn_server(&["--workers", "1"]);
+
+    // Malformed JSON → 400.
+    let (status, body) =
+        bench::client::post(&srv.base, "/jobs", "{not json").expect("post malformed");
+    assert_eq!(status, 400, "malformed JSON: {body}");
+
+    // Valid JSON, invalid spec → 400.
+    let bad = serde_json::json!({"id": "bad-phase", "netlist": srv.fingerprint.clone(), "phase": "Z"});
+    let (status, body) = bench::client::post(
+        &srv.base,
+        "/jobs",
+        &serde_json::to_string(&bad).unwrap(),
+    )
+    .expect("post bad phase");
+    assert_eq!(status, 400, "bad phase: {body}");
+
+    // Unknown netlist fingerprint → 404.
+    let mut doc = spec(&srv, "wrong-netlist");
+    if let Value::Object(o) = &mut doc {
+        o.insert("netlist".into(), Value::String("n1/g1/d1".into()));
+    }
+    let (status, body) = bench::client::post(
+        &srv.base,
+        "/jobs",
+        &serde_json::to_string(&doc).unwrap(),
+    )
+    .expect("post unknown netlist");
+    assert_eq!(status, 404, "unknown fingerprint: {body}");
+
+    // Unknown job id → 404 on both status and result routes.
+    let (status, _) = bench::client::get(&srv.base, "/jobs/never-submitted").expect("get status");
+    assert_eq!(status, 404);
+    let (status, _) =
+        bench::client::get(&srv.base, "/jobs/never-submitted/result").expect("get result");
+    assert_eq!(status, 404);
+
+    // Oversized body → 413. The server rejects on the declared
+    // Content-Length before reading the body, so only the head is sent
+    // (sending megabytes into an already-closed socket would just race
+    // a TCP reset against the response).
+    {
+        use std::io::{Read, Write};
+        let addr = bench::client::authority(&srv.base);
+        let mut s = std::net::TcpStream::connect(&addr).expect("connect");
+        write!(
+            s,
+            "POST /jobs HTTP/1.0\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            obs::serve::MAX_BODY_BYTES + 1024
+        )
+        .expect("send oversized head");
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).expect("read 413");
+        assert!(resp.starts_with("HTTP/1.0 413"), "oversized body: {resp}");
+    }
+
+    // Duplicate job id → 409 (the first submission wins and still runs).
+    let doc = spec(&srv, "dup");
+    let encoded = serde_json::to_string(&doc).unwrap();
+    let (status, _) = bench::client::post(&srv.base, "/jobs", &encoded).expect("post first");
+    assert_eq!(status, 202);
+    let (status, body) = bench::client::post(&srv.base, "/jobs", &encoded).expect("post dup");
+    assert_eq!(status, 409, "duplicate id: {body}");
+
+    // Completion with wrong shard geometry → 400.
+    let nonsense = serde_json::json!({
+        "job": "dup", "shard": 0u64, "worker": "evil", "detections": [1u64, 2u64],
+    });
+    let (status, body) = bench::client::post(
+        &srv.base,
+        "/complete",
+        &serde_json::to_string(&nonsense).unwrap(),
+    )
+    .expect("post bad completion");
+    assert_eq!(status, 400, "wrong-geometry completion: {body}");
+
+    // The first `dup` submission still runs to a clean finish.
+    let status = bench::client::wait_job(&srv.base, "dup", Duration::from_secs(120))
+        .expect("dup finishes");
+    assert_eq!(status["state"].as_str(), Some("done"));
+}
+
+/// Two clients racing the same job id: exactly one 202 and one 409, the
+/// job's shards are each graded exactly once, and no duplicate shard
+/// completion is ever recorded.
+#[test]
+fn concurrent_duplicate_submit_runs_the_job_exactly_once() {
+    let srv = spawn_server(&["--workers", "2"]);
+    let doc = spec(&srv, "race");
+    let encoded = serde_json::to_string(&doc).unwrap();
+
+    let statuses: Vec<u16> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let base = srv.base.clone();
+                let body = encoded.clone();
+                s.spawn(move || bench::client::post(&base, "/jobs", &body).expect("race post").0)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("race client")).collect()
+    });
+    let mut sorted = statuses.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![202, 409], "exactly one submission wins: {statuses:?}");
+
+    // Exactly one job exists, it finishes, and every shard is done.
+    let result = {
+        let status = bench::client::wait_job(&srv.base, "race", Duration::from_secs(120))
+            .expect("race job finishes");
+        assert_eq!(status["state"].as_str(), Some("done"));
+        assert_eq!(
+            status["shards"]["done"].as_u64(),
+            status["shards"]["total"].as_u64()
+        );
+        bench::client::fetch_result(&srv.base, "race").expect("race result")
+    };
+    assert_eq!(result["stats"]["shards"].as_u64(), Some(2));
+
+    let (_, body) = bench::client::get(&srv.base, "/jobs").expect("list jobs");
+    let list: Value = serde_json::from_str(&body).expect("parse job list");
+    assert_eq!(list["jobs"].as_array().map(|a| a.len()), Some(1));
+
+    // Shard accounting: 2 claimed, 2 completed, 0 duplicates.
+    let snap = metrics(&srv);
+    assert_eq!(metric_value(&snap, "sbst_server_shards_completed_total"), Some(2));
+    assert_eq!(
+        metric_value(&snap, "sbst_server_shards_duplicate_total").unwrap_or(0),
+        0
+    );
+    assert_eq!(metric_value(&snap, "sbst_server_jobs_completed_total"), Some(1));
+}
+
+/// A finished job's result is structurally sound; before any job exists
+/// the result route 404s (checked above) and once done it serves the
+/// merged conformance payload with as many detections as faults.
+#[test]
+fn result_document_is_complete() {
+    let srv = spawn_server(&["--workers", "2"]);
+    let result = run_job(&srv, &spec(&srv, "doc"));
+    let conf = &result["conformance"];
+    let faults = conf["faults"].as_u64().expect("faults");
+    assert!(faults > 0);
+    assert_eq!(
+        conf["detections"].as_array().map(|a| a.len() as u64),
+        Some(faults)
+    );
+    assert!(conf["coverage_pct"].as_f64().expect("coverage") > 0.0);
+    assert!(conf["components"].as_array().map(|a| !a.is_empty()).unwrap_or(false));
+    assert_eq!(result["id"].as_str(), Some("doc"));
+    assert_eq!(result["spec"]["shards"].as_u64(), Some(2));
+}

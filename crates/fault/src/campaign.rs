@@ -186,7 +186,7 @@ impl CampaignStats {
 
 /// Latency histogram over a detection vector (cycle of first
 /// divergence for every detected fault).
-fn latency_of(detections: &[Detection]) -> LatencyHistogram {
+pub(crate) fn latency_of(detections: &[Detection]) -> LatencyHistogram {
     LatencyHistogram::from_cycles(detections.iter().filter_map(|d| match d {
         Detection::DetectedAt(c) => Some(*c),
         Detection::Undetected => None,

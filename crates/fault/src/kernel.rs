@@ -375,6 +375,7 @@ pub fn structural_fingerprint(netlist: &Netlist, segments: &[Vec<u32>]) -> u64 {
 static CACHE: OnceLock<Mutex<HashMap<u64, Arc<CompiledKernel>>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static LOWERING_NS: AtomicU64 = AtomicU64::new(0);
 
 /// Compile `netlist` with `segments`, reusing a cached kernel when the
 /// same structure was lowered before (keyed by
@@ -395,7 +396,12 @@ pub fn compile_cached(netlist: &Netlist, segments: &[Vec<u32>]) -> Arc<CompiledK
         }
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
+    let start = std::time::Instant::now();
     let kernel = Arc::new(CompiledKernel::compile(netlist, segments));
+    // Lowering time accrues only on the miss path: a cache hit adds
+    // exactly zero, which is what lets a metrics snapshot prove that a
+    // job reused a kernel instead of re-lowering it.
+    LOWERING_NS.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     cache.lock().unwrap().insert(key, Arc::clone(&kernel));
     kernel
 }
@@ -403,6 +409,12 @@ pub fn compile_cached(netlist: &Netlist, segments: &[Vec<u32>]) -> Arc<CompiledK
 /// Process-lifetime kernel-cache counters: `(hits, misses)`.
 pub fn cache_counters() -> (u64, u64) {
     (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Total nanoseconds this process has spent lowering netlists on the
+/// cache-miss path. Strictly flat across any stretch of cache hits.
+pub fn cache_lowering_ns() -> u64 {
+    LOWERING_NS.load(Ordering::Relaxed)
 }
 
 /// Mirror the process-lifetime cache counters into `registry` as
@@ -424,6 +436,12 @@ pub fn export_cache_metrics(registry: &obs::MetricRegistry) {
     );
     h.inc(hits.saturating_sub(h.get()));
     m.inc(misses.saturating_sub(m.get()));
+    let lowering = registry.counter(
+        "sbst_kernel_lowering_ns_total",
+        "Nanoseconds spent lowering netlists on kernel-cache misses",
+        &[],
+    );
+    lowering.inc(cache_lowering_ns().saturating_sub(lowering.get()));
 }
 
 #[cfg(test)]

@@ -62,6 +62,7 @@ pub mod engine;
 pub mod kernel;
 pub mod model;
 pub mod scoap;
+pub mod shard;
 pub mod sim;
 pub mod wave;
 pub mod wide;

@@ -200,6 +200,26 @@ impl FaultList {
         out
     }
 
+    /// Contiguous sub-list `[lo, hi)` of this fault list, preserving
+    /// order. This is the shard extraction used by the campaign job
+    /// server: because a fault's detection depends only on the fault and
+    /// the stimulus — never on which other faults share its batch — any
+    /// tiling of `[0, len)` into slices grades exactly like the whole.
+    pub fn slice(&self, lo: usize, hi: usize) -> FaultList {
+        assert!(
+            lo <= hi && hi <= self.faults.len(),
+            "fault slice [{lo}, {hi}) out of bounds for {} faults",
+            self.faults.len()
+        );
+        let weight = self.weight[lo..hi].to_vec();
+        FaultList {
+            faults: self.faults[lo..hi].to_vec(),
+            component: self.component[lo..hi].to_vec(),
+            total_uncollapsed: weight.iter().map(|&w| w as usize).sum(),
+            weight,
+        }
+    }
+
     /// Deterministic stratified sample of roughly `target` faults,
     /// proportionally per component (at least one fault per non-empty
     /// component). Used to keep development-time fault simulations fast;

@@ -57,6 +57,12 @@ pub struct LedgerRecord {
     /// 64×W for the compiled one). Part of the throughput
     /// comparability key; old records parse as 64.
     pub lanes: u64,
+    /// Fault shards the campaign was split into (1 = single-shot).
+    /// Part of both comparability keys: a sharded daemon run is a
+    /// different experiment — per-shard budgets and merge overhead skew
+    /// throughput, and its records must never gate against (or pollute
+    /// the baseline of) single-shot history. Old records parse as 1.
+    pub shards: u64,
     /// Faults simulated (0 when not a fault campaign).
     pub faults: u64,
     /// Clock cycles simulated.
@@ -89,6 +95,7 @@ impl LedgerRecord {
             threads: 0,
             engine: "interp".to_string(),
             lanes: 64,
+            shards: 1,
             faults: 0,
             cycles: 0,
             wall_seconds: 0.0,
@@ -111,6 +118,7 @@ impl LedgerRecord {
         m.insert("threads".into(), Value::U64(self.threads));
         m.insert("engine".into(), Value::String(self.engine.clone()));
         m.insert("lanes".into(), Value::U64(self.lanes));
+        m.insert("shards".into(), Value::U64(self.shards));
         m.insert("faults".into(), Value::U64(self.faults));
         m.insert("cycles".into(), Value::U64(self.cycles));
         m.insert("wall_seconds".into(), Value::F64(self.wall_seconds));
@@ -157,6 +165,7 @@ impl LedgerRecord {
                 .unwrap_or("interp")
                 .to_string(),
             lanes: o.get("lanes").and_then(|t| t.as_u64()).unwrap_or(64),
+            shards: o.get("shards").and_then(|t| t.as_u64()).unwrap_or(1),
             faults: o.get("faults").and_then(|t| t.as_u64()).unwrap_or(0),
             cycles: o.get("cycles").and_then(|t| t.as_u64()).unwrap_or(0),
             wall_seconds: o
@@ -341,10 +350,15 @@ fn comparable_throughput(a: &LedgerRecord, b: &LedgerRecord) -> bool {
         && a.threads == b.threads
         && a.engine == b.engine
         && a.lanes == b.lanes
+        && a.shards == b.shards
 }
 
 fn comparable_coverage(a: &LedgerRecord, b: &LedgerRecord) -> bool {
-    a.kind == b.kind && a.netlist == b.netlist && a.faults == b.faults
+    // Coverage is shard-invariant by construction (the merge is
+    // bit-identical), but daemon-sharded records still form their own
+    // baseline lineage: they must never gate, or serve as baseline for,
+    // single-shot history.
+    a.kind == b.kind && a.netlist == b.netlist && a.faults == b.faults && a.shards == b.shards
 }
 
 /// Gate the last record of `records` against earlier comparable ones.
@@ -392,8 +406,9 @@ pub fn check(records: &[LedgerRecord], cfg: &GateConfig) -> GateReport {
             ));
         }
         _ => notes.push(format!(
-            "no comparable throughput baseline for kind `{}` (netlist {}, {} faults, {} threads, {} engine, {} lanes)",
-            latest.kind, latest.netlist, latest.faults, latest.threads, latest.engine, latest.lanes
+            "no comparable throughput baseline for kind `{}` (netlist {}, {} faults, {} threads, {} engine, {} lanes, {} shard(s))",
+            latest.kind, latest.netlist, latest.faults, latest.threads, latest.engine,
+            latest.lanes, latest.shards
         )),
     }
 
@@ -460,8 +475,8 @@ pub fn trend_table(records: &[LedgerRecord]) -> String {
         let rows: Vec<&LedgerRecord> = records.iter().filter(|r| r.kind == kind).collect();
         out.push_str(&format!("== {kind} ({} run(s)) ==\n", rows.len()));
         out.push_str(&format!(
-            "{:<20} {:<18} {:>3} {:>8} {:>5} {:>8} {:>12} {:>9} {:>8} {:>8}\n",
-            "when (UTC)", "git", "thr", "engine", "lanes", "faults", "Mlane-cyc/s", "Δbest%", "cov%", "Δcov"
+            "{:<20} {:<18} {:>3} {:>8} {:>5} {:>3} {:>8} {:>12} {:>9} {:>8} {:>8}\n",
+            "when (UTC)", "git", "thr", "engine", "lanes", "sh", "faults", "Mlane-cyc/s", "Δbest%", "cov%", "Δcov"
         ));
         for (i, r) in rows.iter().enumerate() {
             // Best comparable throughput among earlier rows of this kind.
@@ -485,12 +500,13 @@ pub fn trend_table(records: &[LedgerRecord]) -> String {
                 _ => "-".to_string(),
             };
             out.push_str(&format!(
-                "{:<20} {:<18} {:>3} {:>8} {:>5} {:>8} {:>12.2} {:>9} {:>8} {:>8}\n",
+                "{:<20} {:<18} {:>3} {:>8} {:>5} {:>3} {:>8} {:>12.2} {:>9} {:>8} {:>8}\n",
                 format_utc(r.ts),
                 truncate(&r.git, 18),
                 r.threads,
                 truncate(&r.engine, 8),
                 r.lanes,
+                r.shards,
                 r.faults,
                 r.mlane_cps,
                 dbest,
@@ -561,6 +577,7 @@ mod tests {
             threads,
             engine: "interp".into(),
             lanes: 64,
+            shards: 1,
             faults: 8000,
             cycles: 1_000_000,
             wall_seconds: 1.0,
@@ -576,6 +593,7 @@ mod tests {
         let mut r = rec("tables-stats", 8, 123.456, Some(92.44));
         r.engine = "compiled".into();
         r.lanes = 256;
+        r.shards = 4;
         r.extra.insert("speedup".into(), Value::F64(3.5));
         r.latency = serde_json::json!([{ "lo": 0u64, "hi": 1u64, "count": 5u64 }]);
         let line = serde_json::to_string(&r.to_json()).unwrap();
@@ -595,6 +613,40 @@ mod tests {
         let r = LedgerRecord::from_json(&v).unwrap();
         assert_eq!(r.engine, "interp");
         assert_eq!(r.lanes, 64);
+        assert_eq!(r.shards, 1, "pre-daemon records are single-shot");
+    }
+
+    #[test]
+    fn gate_never_compares_across_shard_counts() {
+        let cfg = GateConfig::default();
+        // A fast single-shot baseline followed by a slower (and
+        // lower-coverage, e.g. differently sampled) 4-shard daemon run:
+        // neither throughput nor coverage may gate across the shard
+        // boundary, in either direction.
+        let mut sharded = rec("tables-stats", 8, 40.0, Some(80.0));
+        sharded.shards = 4;
+        let records = vec![rec("tables-stats", 8, 100.0, Some(92.0)), sharded.clone()];
+        let rep = check(&records, &cfg);
+        assert!(rep.pass, "{rep:?}");
+        assert!(rep.findings.is_empty(), "{rep:?}");
+        // And the sharded run must not become the baseline for a later
+        // single-shot run either.
+        let records = vec![
+            sharded.clone(),
+            rec("tables-stats", 8, 100.0, Some(92.0)),
+            rec("tables-stats", 8, 30.0, Some(92.0)),
+        ];
+        let rep = check(&records, &cfg);
+        assert!(
+            rep.findings.iter().any(|f| f.metric == "throughput" && f.regressed),
+            "single-shot lineage still gates itself: {rep:?}"
+        );
+        // Sharded runs gate against their own lineage.
+        let mut slower = sharded.clone();
+        slower.mlane_cps = 20.0;
+        slower.coverage_pct = Some(79.0);
+        let rep = check(&[sharded, slower].to_vec(), &cfg);
+        assert!(!rep.pass, "{rep:?}");
     }
 
     #[test]

@@ -14,10 +14,16 @@
 //! * `GET /trace`    — Chrome trace-event JSON for ui.perfetto.dev
 //! * anything else   — 404 with a route listing
 //!
+//! An attached [`ApiHandler`] extends the plane with application routes
+//! (the campaign job server lives behind one): it sees every request —
+//! including `POST`s with a bounded body — before the built-in routes,
+//! and returning `None` falls through to them.
+//!
 //! Hardening: request heads are read into a bounded buffer (8 KiB, 413
-//! beyond that), connections carry read/write timeouts, and a request
-//! line that doesn't parse as `METHOD SP PATH ...` gets a 400 instead of
-//! a silent default route.
+//! beyond that), bodies into a separate bounded buffer (256 KiB, 413),
+//! connections carry read/write timeouts, and a request line that
+//! doesn't parse as `METHOD SP PATH ...` gets a 400 instead of a silent
+//! default route.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -30,6 +36,10 @@ use crate::timeline::Timeline;
 
 /// Maximum bytes of request head the server will buffer.
 const MAX_REQUEST_BYTES: usize = 8192;
+/// Maximum bytes of request body the server will buffer for an API
+/// handler. Large enough for any job spec, small enough that a rogue
+/// client cannot balloon the daemon.
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
 /// Per-connection socket timeout for the request/response exchange.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 /// How long `/events` waits for fresh events before emitting a
@@ -48,15 +58,80 @@ impl MetricServer {
     }
 }
 
+/// One parsed API request, handed to an [`ApiHandler`].
+pub struct ApiRequest {
+    /// HTTP method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with the query string stripped.
+    pub path: String,
+    /// Query string after `?`, empty when absent.
+    pub query: String,
+    /// Request body (empty for bodyless requests), capped at
+    /// [`MAX_BODY_BYTES`].
+    pub body: Vec<u8>,
+}
+
+/// An API handler's response.
+pub struct ApiResponse {
+    /// Full status line value, e.g. `"200 OK"`.
+    pub status: String,
+    /// `Content-Type` header value.
+    pub ctype: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl ApiResponse {
+    /// A `200 OK` JSON response.
+    pub fn ok_json(body: impl Into<String>) -> ApiResponse {
+        ApiResponse {
+            status: "200 OK".into(),
+            ctype: "application/json".into(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON response with an explicit status line (e.g. `"202
+    /// Accepted"`, `"409 Conflict"`).
+    pub fn json(status: impl Into<String>, body: impl Into<String>) -> ApiResponse {
+        ApiResponse {
+            status: status.into(),
+            ctype: "application/json".into(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text error response.
+    pub fn error(status: impl Into<String>, message: impl Into<String>) -> ApiResponse {
+        ApiResponse {
+            status: status.into(),
+            ctype: "text/plain; charset=utf-8".into(),
+            body: message.into(),
+        }
+    }
+}
+
+/// Application routes plugged into the HTTP plane. The handler sees
+/// every request (any method) before the built-in routes; returning
+/// `None` falls through to them — so a handler can add `POST /jobs`
+/// without shadowing `/metrics`, and an unhandled `POST` still earns the
+/// built-in 405.
+pub trait ApiHandler: Send + Sync {
+    /// Handle `req`, or `None` to defer to the built-in routes.
+    fn handle(&self, req: &ApiRequest) -> Option<ApiResponse>;
+}
+
 /// Everything the HTTP plane can expose. The registry is mandatory;
-/// timeline, event stream and trace rendering light up their routes when
-/// attached. Clonable — all parts are shared handles.
+/// timeline, event stream, trace rendering and the application API
+/// light up their routes when attached. Clonable — all parts are shared
+/// handles.
 #[derive(Clone)]
 pub struct Observatory {
     registry: MetricRegistry,
     timeline: Option<Timeline>,
     events: Option<EventBus>,
     trace: Option<Arc<dyn Fn() -> String + Send + Sync>>,
+    api: Option<Arc<dyn ApiHandler>>,
 }
 
 impl Observatory {
@@ -68,6 +143,7 @@ impl Observatory {
             timeline: None,
             events: None,
             trace: None,
+            api: None,
         }
     }
 
@@ -91,6 +167,13 @@ impl Observatory {
         provider: impl Fn() -> String + Send + Sync + 'static,
     ) -> Observatory {
         self.trace = Some(Arc::new(provider));
+        self
+    }
+
+    /// Attach an application API handler, consulted for every request
+    /// before the built-in routes.
+    pub fn with_api(mut self, api: Arc<dyn ApiHandler>) -> Observatory {
+        self.api = Some(api);
         self
     }
 }
@@ -150,11 +233,16 @@ fn handle_connection(mut stream: TcpStream, obs: &Observatory) {
         );
         return;
     }
-    let request = String::from_utf8_lossy(&buf[..n]);
+    let head_end = buf[..n]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .unwrap_or(n);
+    let request = String::from_utf8_lossy(&buf[..head_end]).into_owned();
     // A well-formed request line is `METHOD SP PATH [SP VERSION]`.
     let mut first = request.lines().next().unwrap_or("").split_whitespace();
     let (method, target) = match (first.next(), first.next()) {
-        (Some(m), Some(t)) => (m, t),
+        (Some(m), Some(t)) => (m.to_string(), t.to_string()),
         _ => {
             respond(
                 &mut stream,
@@ -165,6 +253,55 @@ fn handle_connection(mut stream: TcpStream, obs: &Observatory) {
             return;
         }
     };
+    let path = target.split('?').next().unwrap_or(&target).to_string();
+    let query = target
+        .split_once('?')
+        .map(|(_, q)| q.to_string())
+        .unwrap_or_default();
+
+    // The application API sees every request first; its `None` falls
+    // through to the built-in routes (and their 405 for non-GET).
+    if let Some(api) = &obs.api {
+        let content_length = request
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split_once(':'))
+            .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        if content_length > MAX_BODY_BYTES {
+            respond(
+                &mut stream,
+                "413 Payload Too Large",
+                "text/plain; charset=utf-8",
+                &format!("request body exceeds {MAX_BODY_BYTES} bytes\n"),
+            );
+            return;
+        }
+        // The head read may have pulled in the start of the body; read
+        // the rest directly off the socket.
+        let mut body = buf[head_end..n].to_vec();
+        body.truncate(content_length);
+        while body.len() < content_length {
+            let mut chunk = [0u8; 4096];
+            let want = (content_length - body.len()).min(chunk.len());
+            match stream.read(&mut chunk[..want]) {
+                Ok(0) | Err(_) => break,
+                Ok(m) => body.extend_from_slice(&chunk[..m]),
+            }
+        }
+        let req = ApiRequest {
+            method: method.clone(),
+            path: path.clone(),
+            query,
+            body,
+        };
+        if let Some(resp) = api.handle(&req) {
+            respond(&mut stream, &resp.status, &resp.ctype, &resp.body);
+            return;
+        }
+    }
+
     if method != "GET" && method != "HEAD" {
         respond(
             &mut stream,
@@ -174,7 +311,7 @@ fn handle_connection(mut stream: TcpStream, obs: &Observatory) {
         );
         return;
     }
-    let path = target.split('?').next().unwrap_or(target);
+    let path = path.as_str();
 
     if path == "/events" {
         match &obs.events {
@@ -352,6 +489,84 @@ mod tests {
         let huge = vec![b'A'; MAX_REQUEST_BYTES + 64];
         let too_big = raw(srv.addr(), &huge);
         assert!(too_big.starts_with("HTTP/1.0 413"), "{too_big}");
+    }
+
+    #[test]
+    fn api_handler_sees_posts_and_falls_through_to_builtins() {
+        struct Echo;
+        impl ApiHandler for Echo {
+            fn handle(&self, req: &ApiRequest) -> Option<ApiResponse> {
+                if req.method == "POST" && req.path == "/jobs" {
+                    let body = String::from_utf8_lossy(&req.body).into_owned();
+                    return Some(ApiResponse::json(
+                        "202 Accepted",
+                        format!("{{\"echo\":{body},\"query\":\"{}\"}}", req.query),
+                    ));
+                }
+                None
+            }
+        }
+        let reg = MetricRegistry::new();
+        reg.counter("requests_total", "requests seen", &[]).inc(1);
+        let obs = Observatory::new(reg).with_api(Arc::new(Echo));
+        let srv = serve_observatory(obs, 0).unwrap();
+
+        // POST with a body routed to the handler, query preserved.
+        let body = "{\"id\":\"j1\"}";
+        let post = raw(
+            srv.addr(),
+            format!(
+                "POST /jobs?dry=1 HTTP/1.0\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        assert!(post.starts_with("HTTP/1.0 202"), "{post}");
+        assert!(post.contains("\"echo\":{\"id\":\"j1\"}"), "{post}");
+        assert!(post.contains("\"query\":\"dry=1\""), "{post}");
+
+        // Unhandled requests fall through: built-in routes still work,
+        // and an unhandled POST still earns the built-in 405.
+        let metrics = get(srv.addr(), "/metrics");
+        assert!(metrics.contains("requests_total 1"), "{metrics}");
+        let post405 = raw(srv.addr(), b"POST /metrics HTTP/1.0\r\n\r\n");
+        assert!(post405.starts_with("HTTP/1.0 405"), "{post405}");
+
+        // A declared body beyond the cap is refused before buffering.
+        let huge = format!(
+            "POST /jobs HTTP/1.0\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let too_big = raw(srv.addr(), huge.as_bytes());
+        assert!(too_big.starts_with("HTTP/1.0 413"), "{too_big}");
+    }
+
+    #[test]
+    fn api_body_split_across_segments_is_reassembled() {
+        struct Len;
+        impl ApiHandler for Len {
+            fn handle(&self, req: &ApiRequest) -> Option<ApiResponse> {
+                (req.path == "/len").then(|| ApiResponse::ok_json(format!("{}", req.body.len())))
+            }
+        }
+        let obs = Observatory::new(MetricRegistry::new()).with_api(Arc::new(Len));
+        let srv = serve_observatory(obs, 0).unwrap();
+        // Write the head, pause, then the body in two pieces — the
+        // server must keep reading past the head segment.
+        let body = vec![b'x'; 10_000];
+        let mut s = TcpStream::connect(srv.addr()).unwrap();
+        s.write_all(format!("POST /len HTTP/1.0\r\nContent-Length: {}\r\n\r\n", body.len()).as_bytes())
+            .unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        s.write_all(&body[..1000]).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        s.write_all(&body[1000..]).unwrap();
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.ends_with("10000"), "{out}");
     }
 
     #[test]

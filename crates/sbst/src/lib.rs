@@ -43,6 +43,7 @@
 pub mod classify;
 pub mod cost;
 pub mod flow;
+pub mod jobs;
 pub mod library;
 pub mod phases;
 pub mod provenance;
